@@ -1,0 +1,21 @@
+"""E1 — Theorem 3.2: PRAM sample sort (reads, writes, depth)."""
+
+from conftest import run_once
+
+from repro.experiments import e01_pram_sort
+
+
+def bench_e01_pram_sort(benchmark):
+    rows = run_once(benchmark, e01_pram_sort.run, quick=True)
+    for r in rows:
+        assert r["reads/(n log n)"] < 6.0, "reads not O(n log n)"
+        assert r["writes/n"] < 40.0, "writes not O(n)"
+    last = rows[-1]
+    benchmark.extra_info.update(
+        {
+            "n": last["n"],
+            "reads_per_nlogn": round(last["reads/(n log n)"], 3),
+            "writes_per_n": round(last["writes/n"], 3),
+            "depth_per_wlogn": round(last["depth/(w log n)"], 1),
+        }
+    )

@@ -1,0 +1,25 @@
+"""E2 — Theorem 4.3 / Corollary 4.4: AEM mergesort k sweep + omega crossover."""
+
+from conftest import run_once
+
+from repro.experiments import e02_aem_mergesort
+
+
+def bench_e02_k_sweep(benchmark):
+    rows = run_once(benchmark, e02_aem_mergesort.run, quick=True)
+    assert all(r["reads<=Thm4.3"] for r in rows), "Theorem 4.3 read bound violated"
+    assert all(r["writes<=Thm4.3"] for r in rows), "Theorem 4.3 write bound violated"
+    best = min(rows, key=lambda r: r["cost"])
+    assert best["feasible(CorA)"], "measured-best k outside the Appendix-A region"
+    benchmark.extra_info.update(
+        {"best_k": best["k"], "best_cost_vs_classic": round(best["cost/classic"], 3)}
+    )
+
+
+def bench_e02_omega_crossover(benchmark):
+    rows = run_once(benchmark, e02_aem_mergesort.run_omega_sweep, quick=True)
+    improvements = [r["improvement"] for r in rows]
+    assert improvements == sorted(improvements), "improvement must grow with omega"
+    benchmark.extra_info.update(
+        {f"omega_{r['omega']}_improvement": round(r["improvement"], 3) for r in rows}
+    )

@@ -1,0 +1,12 @@
+"""E3 — Lemma 4.2: selection-sort base case (exact bounds)."""
+
+from conftest import run_once
+
+from repro.experiments import e03_selection_base
+
+
+def bench_e03_selection_base(benchmark):
+    rows = run_once(benchmark, e03_selection_base.run, quick=True)
+    assert all(r["reads_ok"] for r in rows), "Lemma 4.2 read bound violated"
+    assert all(r["writes_exact"] for r in rows), "writes must equal ceil(n/B)"
+    benchmark.extra_info["max_mem_high_water"] = max(r["mem_high_water"] for r in rows)

@@ -1,0 +1,19 @@
+"""E4 — Theorem 4.5: AEM sample sort measured vs predicted."""
+
+from conftest import run_once
+
+from repro.experiments import e04_aem_samplesort
+
+
+def bench_e04_aem_samplesort(benchmark):
+    rows = run_once(benchmark, e04_aem_samplesort.run, quick=True)
+    for r in rows:
+        assert r["reads/pred"] < 8.0, "read constant blew up"
+        assert r["writes/pred"] < 8.0, "write constant blew up"
+    worst = max(rows, key=lambda r: r["writes/pred"])
+    benchmark.extra_info.update(
+        {
+            "worst_write_ratio": round(worst["writes/pred"], 3),
+            "worst_read_ratio": round(max(r["reads/pred"] for r in rows), 3),
+        }
+    )

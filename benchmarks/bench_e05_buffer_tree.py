@@ -1,0 +1,19 @@
+"""E5 — Theorems 4.7/4.10: buffer tree & priority queue amortized costs."""
+
+from conftest import run_once
+
+from repro.experiments import e05_buffer_tree
+
+
+def bench_e05_buffer_tree(benchmark):
+    rows = run_once(benchmark, e05_buffer_tree.run, quick=True)
+    for r in rows:
+        assert r["reads/pred"] < 40, "amortized read constant blew up"
+        assert r["writes/pred"] < 40, "amortized write constant blew up"
+        assert r["pq_writes/op"] < r["pq_reads/op"], "PQ must be read-dominated"
+    benchmark.extra_info.update(
+        {
+            "max_read_ratio": round(max(r["reads/pred"] for r in rows), 2),
+            "max_write_ratio": round(max(r["writes/pred"] for r in rows), 2),
+        }
+    )

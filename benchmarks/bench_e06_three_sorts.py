@@ -1,0 +1,15 @@
+"""E6 — §4 headline: the three AEM sorts vs their classic (k=1) selves."""
+
+from conftest import run_once
+
+from repro.experiments import e06_three_sorts
+
+
+def bench_e06_three_sorts(benchmark):
+    rows = run_once(benchmark, e06_three_sorts.run, quick=True)
+    for r in rows:
+        assert r["asym_W"] <= r["classic_W"], f"{r['algorithm']}: writes regressed"
+        assert r["improvement"] >= 0.95, f"{r['algorithm']}: cost regressed"
+    benchmark.extra_info.update(
+        {r["algorithm"]: round(r["improvement"], 3) for r in rows}
+    )

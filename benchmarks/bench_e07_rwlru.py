@@ -1,0 +1,17 @@
+"""E7 — Lemma 2.1: read-write LRU competitiveness on four trace families."""
+
+from conftest import run_once
+
+from repro.experiments import e07_rwlru
+
+
+def bench_e07_rwlru(benchmark):
+    rows = run_once(benchmark, e07_rwlru.run, quick=True)
+    assert all(r["holds"] for r in rows), "Lemma 2.1 inequality violated"
+    worst = max(rows, key=lambda r: r["rwlru/ref"])
+    benchmark.extra_info.update(
+        {
+            "worst_trace": worst["trace"],
+            "worst_rwlru_over_offline_ref": round(worst["rwlru/ref"], 3),
+        }
+    )

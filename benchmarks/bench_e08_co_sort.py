@@ -1,0 +1,15 @@
+"""E8 — Theorem 5.1 / Figure 1: cache-oblivious sort vs the classic [9]."""
+
+from conftest import run_once
+
+from repro.experiments import e08_co_sort
+
+
+def bench_e08_co_sort(benchmark):
+    rows = run_once(benchmark, e08_co_sort.run, quick=True)
+    for r in rows:
+        assert r["asym_W"] < r["classic_W"], "asymmetric variant must write less"
+        assert r["W_ratio"] > 1.0
+    benchmark.extra_info.update(
+        {f"omega_{r['omega']}_write_ratio": round(r["W_ratio"], 3) for r in rows}
+    )

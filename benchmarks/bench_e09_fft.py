@@ -1,0 +1,22 @@
+"""E9 — §5.2: cache-oblivious FFT, asymmetric vs standard."""
+
+from conftest import run_once
+
+from repro.experiments import e09_fft
+
+
+def bench_e09_fft(benchmark):
+    rows = run_once(benchmark, e09_fft.run, quick=True)
+    for r in rows:
+        # §5.2's own caveat allows the as-described variant extra transposes;
+        # the deliberate read trade must stay within ~omega
+        assert r["asym_R"] < 4 * r["omega"] * r["std_R"]
+        assert r["asym_W"] > 0 and r["std_W"] > 0
+    benchmark.extra_info.update(
+        {
+            f"n{r['n']}_w{r['omega']}_asym_over_std_writes": round(
+                r["asym_W"] / r["std_W"], 3
+            )
+            for r in rows
+        }
+    )

@@ -1,0 +1,15 @@
+"""E10 — Theorem 5.2: EM blocked matmul (reads n^3-type, writes n^2-type)."""
+
+from conftest import run_once
+
+from repro.experiments import e10_em_matmul
+
+
+def bench_e10_em_matmul(benchmark):
+    rows = run_once(benchmark, e10_em_matmul.run, quick=True)
+    for r in rows:
+        assert 0.5 < r["reads/pred"] < 8, "read shape off"
+        assert 0.5 < r["writes/pred"] < 4, "write shape off"
+    benchmark.extra_info.update(
+        {f"n{r['n']}_writes_per_pred": round(r["writes/pred"], 3) for r in rows}
+    )

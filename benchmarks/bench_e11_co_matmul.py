@@ -1,0 +1,14 @@
+"""E11 — Theorem 5.3: cache-oblivious matmul, asymmetric vs classic."""
+
+from conftest import run_once
+
+from repro.experiments import e11_co_matmul
+
+
+def bench_e11_co_matmul(benchmark):
+    rows = run_once(benchmark, e11_co_matmul.run, quick=True)
+    for r in rows:
+        assert r["W_ratio"] >= 0.9, "asymmetric variant wrote meaningfully more"
+    benchmark.extra_info.update(
+        {f"omega_{r['omega']}_write_ratio": round(r["W_ratio"], 3) for r in rows}
+    )

@@ -1,0 +1,17 @@
+"""E12 — §2: work-stealing and PDF scheduler bounds."""
+
+from conftest import run_once
+
+from repro.experiments import e12_schedulers
+
+
+def bench_e12_schedulers(benchmark):
+    rows = run_once(benchmark, e12_schedulers.run, quick=True)
+    assert all(r["holds"] for r in rows), "a scheduler bound was violated"
+    ws = [r for r in rows if r["scheduler"] == "work-steal"]
+    benchmark.extra_info.update(
+        {f"p{r['p']}_steals": r["steals"] for r in ws}
+    )
+    benchmark.extra_info["max_speedup"] = round(
+        max(r["speedup"] for r in ws), 2
+    )

@@ -1,0 +1,19 @@
+"""E13 — §3: RAM-model sorts, write-efficient BSTs vs classics."""
+
+from conftest import run_once
+
+from repro.experiments import e13_ram_sort
+
+
+def bench_e13_ram_sort(benchmark):
+    rows = run_once(benchmark, e13_ram_sort.run, quick=True)
+    by_alg: dict[str, list[float]] = {}
+    for r in rows:
+        by_alg.setdefault(r["algorithm"], []).append(r["writes/n"])
+    assert by_alg["bst-rb"][-1] < by_alg["bst-rb"][0] * 1.25, "RB writes not flat"
+    assert by_alg["heapsort"][-1] > by_alg["heapsort"][0] * 1.1, (
+        "classic writes unexpectedly flat"
+    )
+    benchmark.extra_info.update(
+        {alg: round(vals[-1], 2) for alg, vals in by_alg.items()}
+    )

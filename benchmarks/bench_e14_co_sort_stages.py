@@ -1,0 +1,18 @@
+"""E14 — Figure 1 anatomy: per-stage read/write budget of the CO sort."""
+
+from conftest import run_once
+
+from repro.experiments import e14_co_sort_stages
+
+
+def bench_e14_co_sort_stages(benchmark):
+    rows = run_once(benchmark, e14_co_sort_stages.run, quick=True)
+    d = next(r for r in rows if r["stage"].startswith("(d) "))
+    total = next(r for r in rows if r["stage"] == "TOTAL")
+    assert d["R/W"] > total["R/W"], "step (d) must carry the read amplification"
+    benchmark.extra_info.update(
+        {
+            "stage_d_read_share_pct": round(d["reads%"], 1),
+            "total_read_write_ratio": round(total["R/W"], 2),
+        }
+    )

@@ -1,0 +1,15 @@
+"""E15 — §4.2 extension: private-cache parallel sample sort speedup."""
+
+from conftest import run_once
+
+from repro.experiments import e15_parallel_samplesort
+
+
+def bench_e15_parallel_samplesort(benchmark):
+    rows = run_once(benchmark, e15_parallel_samplesort.run, quick=True)
+    for r in rows:
+        assert r["speedup"] > r["p=n/M"] / 8, "speedup collapsed"
+        assert r["makespan/pred"] < 40, "makespan blew past the time formula"
+    benchmark.extra_info.update(
+        {f"n{r['n']}_speedup_over_p": round(r["speedup/p"], 3) for r in rows}
+    )

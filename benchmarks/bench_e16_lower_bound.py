@@ -1,0 +1,13 @@
+"""E16 — Equation (1): classic sorts bracket the Aggarwal-Vitter bound."""
+
+from conftest import run_once
+
+from repro.experiments import e16_lower_bound
+
+
+def bench_e16_lower_bound(benchmark):
+    rows = run_once(benchmark, e16_lower_bound.run, quick=True)
+    assert all(r["sane"] for r in rows), "a sort left the Theta(...) envelope"
+    benchmark.extra_info.update(
+        {r["algorithm"]: round(r["ratio"], 2) for r in rows}
+    )

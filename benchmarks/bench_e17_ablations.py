@@ -1,0 +1,17 @@
+"""E17 — Ablations: erratum fix, over-sampling factor, placement slack."""
+
+from conftest import run_once
+
+from repro.experiments import e17_ablations
+
+
+def bench_e17_ablations(benchmark):
+    rows = run_once(benchmark, e17_ablations.run, quick=True)
+    by = {(r["ablation"], r["setting"]): r for r in rows}
+    # the paper-literal merge must visibly fail on the witness input
+    assert "stranded" in by[("round_threshold", "paper-literal")]["outcome"]
+    assert by[("round_threshold", "fixed")]["outcome"] == "sorted"
+    # lower slack => more collision tries
+    tries = [r["value"] for r in rows if r["ablation"] == "bucket_slack"]
+    assert tries == sorted(tries, reverse=True)
+    benchmark.extra_info["tries_by_slack"] = tries

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper claim's table (see DESIGN.md §3) via
+the corresponding :mod:`repro.experiments` runner, asserts the claim's
+success criterion, and records headline numbers in ``extra_info`` so the
+pytest-benchmark report doubles as the reproduction record.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Simulations are deterministic, so a single round measures the (stable)
+simulation wall time; the *scientific* output is the asserted table shape,
+not the seconds.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

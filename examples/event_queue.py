@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: an external event queue on the §4.3.3 priority queue.
+
+A discrete-event simulator (or a database LSM compaction scheduler, or a
+router timer wheel) keeps millions of future events on NVM and repeatedly
+extracts the earliest one.  The paper's buffer-tree priority queue does each
+INSERT / DELETE-MIN in amortized O((k/B)(1+log_{kM/B} n)) reads and a factor
+~k fewer writes — this example runs such a loop and compares k=1 (classic
+Arge buffer tree) against a write-efficient k.
+
+Run:  python examples/event_queue.py
+"""
+
+import random
+
+from repro import AEMachine, AEMPriorityQueue, MachineParams
+from repro.analysis.tables import format_table
+
+
+def simulate(params: MachineParams, k: int, n_events: int, seed: int = 0):
+    """Classic hold-model workload: pop the next event, schedule a few more."""
+    rng = random.Random(seed)
+    machine = AEMachine(params)
+    pq = AEMPriorityQueue(machine, k=k)
+
+    now = 0.0
+    next_id = 0
+
+    def schedule(base: float, count: int) -> None:
+        nonlocal next_id
+        for _ in range(count):
+            # unique composite key: (timestamp, id) flattened into a float-free
+            # integer key so ordering is total
+            delay = rng.randint(1, 10_000)
+            pq.insert((int(base) + delay) * 10_000_000 + next_id)
+            next_id += 1
+
+    schedule(0, 500)  # prime the queue
+    processed = 0
+    while processed < n_events:
+        key = pq.delete_min()
+        now = key // 10_000_000
+        processed += 1
+        # each event spawns 0-2 follow-ups; drift keeps the queue ~steady
+        schedule(now, rng.choice((0, 1, 1, 2)))
+        if len(pq) == 0:
+            schedule(now, 100)
+
+    c = machine.counter
+    return {
+        "k": k,
+        "events": processed,
+        "reads/op": c.block_reads / (2 * processed),
+        "writes/op": c.block_writes / (2 * processed),
+        "total cost": c.block_cost(params.omega),
+        "beta rebuilds": pq.beta_rebuilds,
+        "tree refills": pq.tree_refills,
+    }
+
+
+def main() -> None:
+    params = MachineParams(M=64, B=8, omega=16)
+    n_events = 6_000
+    print(f"event loop on {params}, {n_events} events\n")
+    rows = [simulate(params, k, n_events, seed=3) for k in (1, 2, 4)]
+    print(format_table(rows, title="Buffer-tree priority queue (Theorem 4.10)"))
+    base = rows[0]["total cost"]
+    for r in rows[1:]:
+        print(f"k={r['k']}: {base / r['total cost']:.2f}x cheaper than classic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario: external sort of a database run on NVM, tuned per Appendix A.
+
+The motivating workload of the paper's introduction: a database engine
+sorting runs on phase-change memory, where each write costs ~an order of
+magnitude more than a read *and* wears the device.  This example:
+
+1. models three published device asymmetries (§2's PCM / ReRAM / STT
+   figures) as omega values;
+2. sweeps the branching factor k across the Appendix-A feasible region and
+   picks the measured-cost winner;
+3. reports cost (time/energy proxy) and total block writes (endurance
+   proxy) against the classic EM mergesort.
+
+Run:  python examples/nvm_database_sort.py
+"""
+
+from repro import AEMachine, MachineParams
+from repro.analysis.ktuning import feasible_k_region
+from repro.analysis.tables import format_table
+from repro.core.aem_mergesort import aem_mergesort
+from repro.workloads import zipf_keys
+
+#: published read/write asymmetries from §2 of the paper (order of magnitude)
+DEVICES = {
+    "STT-RAM (~10x energy)": 8,
+    "PCM byte r/w (~26x latency)": 16,
+    "ReRAM (~100x latency)": 64,
+}
+
+
+def sort_cost(params: MachineParams, data: list, k: int) -> tuple[int, int, float]:
+    machine = AEMachine(params)
+    out = aem_mergesort(machine, machine.from_list(data), k=k)
+    assert out.peek_list() == sorted(data)
+    c = machine.counter
+    return c.block_reads, c.block_writes, c.block_cost(params.omega)
+
+
+def main() -> None:
+    n = 20_000
+    data = zipf_keys(n, skew=1.1, seed=7)  # skewed keys, like real columns
+    M, B = 64, 8
+    print(f"sorting a {n}-record run, M={M} records, B={B} records/block\n")
+
+    rows = []
+    for device, omega in DEVICES.items():
+        params = MachineParams(M=M, B=B, omega=omega)
+        classic_r, classic_w, classic_cost = sort_cost(params, data, k=1)
+
+        best = None
+        for k in feasible_k_region(params, k_max=2 * omega):
+            r, w, cost = sort_cost(params, data, k)
+            if best is None or cost < best[1]:
+                best = (k, cost, r, w)
+        k_star, best_cost, best_r, best_w = best
+
+        rows.append(
+            {
+                "device": device,
+                "omega": omega,
+                "k*": k_star,
+                "cost classic": classic_cost,
+                "cost tuned": best_cost,
+                "speedup": classic_cost / best_cost,
+                "writes classic": classic_w,
+                "writes tuned": best_w,
+                "wear saved": f"{100 * (1 - best_w / classic_w):.0f}%",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="AEM mergesort tuned per device (Corollary 4.4 / Appendix A)",
+        )
+    )
+    print(
+        "\ncost = block reads + omega * block writes (time/energy proxy);"
+        "\nwrites saved extend device endurance (10^8-10^12 cycles, §1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

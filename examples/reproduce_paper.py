@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table of the reproduction in one run.
+
+Prints E1-E14 (see DESIGN.md §3 for the claim-to-experiment index).  With
+``--quick``, uses the reduced parameter grids the benchmarks use (~30s);
+the full run takes several minutes and is what EXPERIMENTS.md records.
+
+Run:  python examples/reproduce_paper.py [--quick] [EXPERIMENT ...]
+e.g.  python examples/reproduce_paper.py --quick E2 E7
+"""
+
+import sys
+import time
+
+from repro.analysis.tables import format_table
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    wanted = [a.upper() for a in argv if a.startswith(("e", "E"))] or list(
+        ALL_EXPERIMENTS
+    )
+    for name in wanted:
+        mod = ALL_EXPERIMENTS[name]
+        t0 = time.time()
+        rows = mod.run(quick=quick)
+        elapsed = time.time() - t0
+        print(format_table(rows, title=getattr(mod, "TITLE", name)))
+        extra = getattr(mod, "run_omega_sweep", None)
+        if extra is not None:
+            print()
+            print(format_table(extra(quick=quick), title=f"{name}b omega sweep"))
+        print(f"[{name}: {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works with setuptools 65 / no wheel.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments without the `wheel` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — Sorting with Asymmetric Read and Write Costs (SPAA 2015).
+
+A faithful, executable reproduction of Blelloch, Fineman, Gibbons, Gu & Shun,
+*Sorting with Asymmetric Read and Write Costs* (SPAA 2015 / arXiv:1603.03505):
+asymmetric-cost machine models (RAM, PRAM, External Memory, Ideal-Cache) and
+the paper's write-efficient algorithms for sorting, FFT and matrix
+multiplication, instrumented so every theorem's read/write/depth bound can be
+measured.
+
+Quickstart
+----------
+>>> from repro import MachineParams, AEMachine, aem_mergesort
+>>> params = MachineParams(M=64, B=8, omega=8)
+>>> machine = AEMachine(params)
+>>> arr = machine.from_list([5, 3, 8, 1, 9, 2, 7, 4, 6, 0])
+>>> out = aem_mergesort(machine, arr, k=4)
+>>> out.peek_list()
+[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+>>> machine.counter.block_cost(params.omega) > 0
+True
+"""
+
+from .api import SortReport, sort_external, sort_ram
+from .core import (
+    AEMPriorityQueue,
+    BufferTree,
+    aem_heapsort,
+    aem_mergesort,
+    aem_samplesort,
+    bst_sort,
+    selection_sort,
+)
+from .models import (
+    AEMachine,
+    CacheSim,
+    CostCounter,
+    DepthTracker,
+    InstrumentedArray,
+    MachineParams,
+    MemoryGuard,
+    SimArray,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AEMPriorityQueue",
+    "AEMachine",
+    "BufferTree",
+    "CacheSim",
+    "CostCounter",
+    "DepthTracker",
+    "InstrumentedArray",
+    "MachineParams",
+    "MemoryGuard",
+    "SimArray",
+    "SortReport",
+    "aem_heapsort",
+    "aem_mergesort",
+    "aem_samplesort",
+    "bst_sort",
+    "selection_sort",
+    "sort_external",
+    "sort_ram",
+    "__version__",
+]

@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``experiments [--quick] [ID ...]``
+    Regenerate the paper's experiment tables (default: all of E1-E17).
+``sort --algorithm ALG --n N [--k K] [--M M] [--B B] [--omega W]``
+    Sort a random permutation and print the cost report.
+``tune --n N [--M M] [--B B] [--omega W]``
+    Print the Appendix-A k sweep for a machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis.ktuning import sweep_k
+from .analysis.tables import format_table
+from .api import sort_external
+from .experiments import ALL_EXPERIMENTS
+from .models.params import MachineParams
+from .workloads import random_permutation
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    wanted = [w.upper() for w in args.ids] or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; choose from {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        mod = ALL_EXPERIMENTS[name]
+        t0 = time.time()
+        rows = mod.run(quick=args.quick)
+        print(format_table(rows, title=getattr(mod, "TITLE", name)))
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    data = random_permutation(args.n, seed=args.seed)
+    rep = sort_external(data, params, algorithm=args.algorithm, k=args.k)
+    assert rep.is_sorted()
+    print(
+        format_table(
+            [
+                {
+                    "algorithm": rep.algorithm,
+                    "n": rep.n,
+                    "block reads": rep.reads,
+                    "block writes": rep.writes,
+                    "cost R+wW": rep.cost(),
+                    "mem high water": rep.memory_high_water,
+                }
+            ],
+            title=f"sort on {params}",
+        )
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    rows = sweep_k(args.n, params, k_max=args.k_max)
+    print(format_table(rows, title=f"Appendix-A k sweep for n={args.n} on {params}"))
+    best = min(rows, key=lambda r: r["predicted_cost"])
+    print(f"\npredicted-best k = {best['k']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sorting with Asymmetric Read and Write Costs (SPAA 2015) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate experiment tables")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--quick", action="store_true", help="reduced grids")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_sort = sub.add_parser("sort", help="run one instrumented sort")
+    p_sort.add_argument("--algorithm", default="mergesort",
+                        choices=["mergesort", "samplesort", "heapsort", "selection"])
+    p_sort.add_argument("--n", type=int, default=10_000)
+    p_sort.add_argument("--k", type=int, default=None)
+    p_sort.add_argument("--M", type=int, default=64)
+    p_sort.add_argument("--B", type=int, default=8)
+    p_sort.add_argument("--omega", type=int, default=8)
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.set_defaults(fn=_cmd_sort)
+
+    p_tune = sub.add_parser("tune", help="Appendix-A k sweep")
+    p_tune.add_argument("--n", type=int, default=100_000)
+    p_tune.add_argument("--M", type=int, default=64)
+    p_tune.add_argument("--B", type=int, default=8)
+    p_tune.add_argument("--omega", type=int, default=8)
+    p_tune.add_argument("--k-max", type=int, default=None)
+    p_tune.set_defaults(fn=_cmd_tune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Closed-form theorem bounds, Appendix-A k-tuning, and table rendering."""
+
+from .formulas import (
+    co_sort_reads,
+    co_sort_writes,
+    em_sort_transfers,
+    matmul_co_reads,
+    matmul_co_writes,
+    mergesort_reads,
+    mergesort_writes,
+    pram_sort_depth,
+    pram_sort_reads,
+    pram_sort_writes,
+)
+from .ktuning import choose_k, feasible_k_region, k_improves, sweep_k
+from .recurrences import (
+    co_sort_read_recurrence,
+    co_sort_write_recurrence,
+    fft_write_recurrence,
+    matmul_write_recurrence,
+    matmul_write_recurrence_randomized,
+)
+from .tables import format_table
+
+__all__ = [
+    "choose_k",
+    "co_sort_read_recurrence",
+    "co_sort_reads",
+    "co_sort_write_recurrence",
+    "co_sort_writes",
+    "em_sort_transfers",
+    "feasible_k_region",
+    "fft_write_recurrence",
+    "format_table",
+    "k_improves",
+    "matmul_co_reads",
+    "matmul_co_writes",
+    "matmul_write_recurrence",
+    "matmul_write_recurrence_randomized",
+    "mergesort_reads",
+    "mergesort_writes",
+    "pram_sort_depth",
+    "pram_sort_reads",
+    "pram_sort_writes",
+    "sweep_k",
+]

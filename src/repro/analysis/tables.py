@@ -1,0 +1,40 @@
+"""ASCII table rendering shared by experiments, examples, and benchmarks."""
+
+from __future__ import annotations
+
+
+def format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+    """Render a list of row-dicts as a fixed-width ASCII table.
+
+    ``columns`` defaults to the keys of the first row, in insertion order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)

@@ -1,0 +1,133 @@
+"""High-level façade: one call to sort under a chosen model + algorithm,
+returning both the output and a cost report.
+
+This is the entry point a downstream user starts from (see README and
+``examples/quickstart.py``); the individual algorithm modules remain available
+for fine-grained control.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from .core.aem_heapsort import aem_heapsort
+from .core.aem_mergesort import aem_mergesort
+from .core.aem_samplesort import aem_samplesort
+from .core.ram_sort import RAM_SORTS
+from .core.selection_sort import selection_sort
+from .models.counters import CostCounter
+from .models.external_memory import AEMachine, MemoryGuard
+from .models.params import MachineParams
+
+
+@dataclass
+class SortReport:
+    """Outcome of one instrumented sort."""
+
+    algorithm: str
+    n: int
+    params: MachineParams | None
+    output: list
+    counter: CostCounter
+    #: primary-memory high-water mark in records (external sorts only)
+    memory_high_water: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def reads(self) -> int:
+        """Block reads (external models) or element reads (RAM model)."""
+        return self.counter.block_reads or self.counter.element_reads
+
+    @property
+    def writes(self) -> int:
+        """Block writes (external models) or element writes (RAM model)."""
+        return self.counter.block_writes or self.counter.element_writes
+
+    def cost(self, omega: int | None = None) -> float:
+        """Asymmetric I/O cost ``reads + omega * writes``."""
+        if omega is None:
+            if self.params is None:
+                raise ValueError("omega required when no machine params are attached")
+            omega = self.params.omega
+        return self.reads + omega * self.writes
+
+    def is_sorted(self) -> bool:
+        return all(
+            self.output[i] <= self.output[i + 1] for i in range(len(self.output) - 1)
+        )
+
+
+_EXTERNAL_SORTS = {
+    "mergesort": aem_mergesort,
+    "samplesort": aem_samplesort,
+    "heapsort": aem_heapsort,
+    "selection": None,  # handled specially (no k argument)
+}
+
+
+def sort_external(
+    data: Sequence,
+    params: MachineParams,
+    algorithm: str = "mergesort",
+    k: int | None = None,
+) -> SortReport:
+    """Sort ``data`` on a fresh AEM machine.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"mergesort"`` (Algorithm 2), ``"samplesort"`` (§4.2), ``"heapsort"``
+        (§4.3 buffer-tree priority queue), or ``"selection"`` (Lemma 4.2).
+    k:
+        Extra branching factor.  Defaults to the Appendix-A heuristic choice
+        :func:`repro.analysis.ktuning.choose_k` (``k = 1`` is the classic
+        algorithm).
+
+    Returns a :class:`SortReport` with block-level counts.
+    """
+    if algorithm not in _EXTERNAL_SORTS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_EXTERNAL_SORTS)}"
+        )
+    if k is None:
+        from .analysis.ktuning import choose_k
+
+        k = choose_k(params)
+    machine = AEMachine(params)
+    arr = machine.from_list(data, name="input")
+    guard = MemoryGuard()
+    if algorithm == "selection":
+        out = selection_sort(machine, arr, guard=guard)
+    else:
+        out = _EXTERNAL_SORTS[algorithm](machine, arr, k, guard=guard)
+    return SortReport(
+        algorithm=f"aem-{algorithm}(k={k})",
+        n=len(data),
+        params=params,
+        output=out.peek_list(),
+        counter=machine.counter,
+        memory_high_water=guard.high_water,
+        extras={"k": k},
+    )
+
+
+def sort_ram(data: Sequence, algorithm: str = "bst-rb") -> SortReport:
+    """Sort ``data`` in the Asymmetric RAM model (§3).
+
+    ``algorithm`` is one of :data:`repro.core.ram_sort.RAM_SORTS`
+    (``bst-rb``, ``bst-treap``, ``bst-avl``, ``quicksort``, ``mergesort``,
+    ``heapsort``).
+    """
+    if algorithm not in RAM_SORTS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(RAM_SORTS)}"
+        )
+    out, counter = RAM_SORTS[algorithm](data)
+    return SortReport(
+        algorithm=f"ram-{algorithm}",
+        n=len(data),
+        params=None,
+        output=out,
+        counter=counter,
+    )

@@ -1,0 +1,20 @@
+"""Classic (write-oblivious) baseline algorithms.
+
+The paper's §4 algorithms generalise the classic EM algorithms: setting the
+extra branching factor ``k = 1`` *is* the classic algorithm ("the new
+algorithm will perform exactly the same as the classic EM mergesort", §4.1).
+These wrappers freeze ``k = 1`` so experiments and examples can name the
+baselines explicitly.
+"""
+
+from .classic import (
+    classic_em_heapsort,
+    classic_em_mergesort,
+    classic_em_samplesort,
+)
+
+__all__ = [
+    "classic_em_heapsort",
+    "classic_em_mergesort",
+    "classic_em_samplesort",
+]

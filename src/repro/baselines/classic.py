@@ -1,0 +1,33 @@
+"""k = 1 instantiations of the §4 algorithms: the classic EM sorts.
+
+All three classic EM sorting algorithms (M/B-way mergesort, distribution
+sort, buffer-tree heapsort) achieve the optimal symmetric EM bound
+
+    Theta((n/B) log_{M/B}(n/B))
+
+total transfers (Aggarwal–Vitter).  Under asymmetric write costs they pay
+``omega`` on every one of those writes; the experiments compare them against
+their ``k = O(omega)`` write-efficient counterparts.
+"""
+
+from __future__ import annotations
+
+from ..core.aem_heapsort import aem_heapsort
+from ..core.aem_mergesort import aem_mergesort
+from ..core.aem_samplesort import aem_samplesort
+from ..models.external_memory import AEMachine, ExtArray
+
+
+def classic_em_mergesort(machine: AEMachine, arr: ExtArray) -> ExtArray:
+    """The classic M/B-way EM mergesort (Algorithm 2 with ``k = 1``)."""
+    return aem_mergesort(machine, arr, k=1)
+
+
+def classic_em_samplesort(machine: AEMachine, arr: ExtArray, seed: int = 0) -> ExtArray:
+    """The classic EM distribution sort (§4.2 with ``k = 1``)."""
+    return aem_samplesort(machine, arr, k=1, seed=seed)
+
+
+def classic_em_heapsort(machine: AEMachine, arr: ExtArray) -> ExtArray:
+    """The classic buffer-tree heapsort (§4.3 with ``k = 1``)."""
+    return aem_heapsort(machine, arr, k=1)

@@ -1,0 +1,27 @@
+"""Cache-oblivious kernels and the §5 algorithms (sort, FFT, matmul).
+
+Everything here runs against :class:`~repro.models.ideal_cache.SimArray`
+arrays: algorithms never see ``M`` or ``B``; the cache simulator measures
+their miss/write-back counts under the Asymmetric Ideal-Cache model.
+"""
+
+from .fft import brute_force_dft, co_fft, co_fft_asymmetric
+from .kernels import co_merge, co_scan_copy
+from .matmul import Matrix, co_matmul_asymmetric, co_matmul_classic, em_blocked_matmul
+from .mergesort import co_mergesort
+from .transpose import bucket_transpose, co_transpose
+
+__all__ = [
+    "Matrix",
+    "brute_force_dft",
+    "bucket_transpose",
+    "co_fft",
+    "co_fft_asymmetric",
+    "co_matmul_asymmetric",
+    "co_matmul_classic",
+    "co_merge",
+    "co_mergesort",
+    "co_scan_copy",
+    "co_transpose",
+    "em_blocked_matmul",
+]

@@ -1,0 +1,211 @@
+"""§5.2: cache-oblivious FFT, standard and write-efficient variants.
+
+Both variants are Cooley-Tukey factor decompositions executed with
+cache-oblivious transposes:
+
+* :func:`co_fft` — the classic [20] recursion: view the input as a
+  ``sqrt(n) x sqrt(n)`` matrix; transpose, FFT rows, twiddle, transpose, FFT
+  rows, transpose.  ``O((n/B) log_M n)`` reads *and* writes.
+* :func:`co_fft_asymmetric` — the paper's variant: view the input as a
+  ``(omega sqrt(n/omega)) x sqrt(n/omega)`` matrix; the long row DFTs are
+  themselves decomposed as ``omega x sqrt(n/omega)`` with the omega-point
+  column DFTs computed **brute force** (omega reads + 1 write per value).
+  This wastes an ``omega`` factor in reads to halve the number of recursion
+  levels on the write side:
+
+      reads  = O((omega n / B) log_{omega M}(omega n)),
+      writes = O((n / B) log_{omega M}(omega n)).
+
+Derivation used throughout (``n = n1 * n2``, input index ``j = j1*n2 + j2``,
+output index ``k = k2*n1 + k1``)::
+
+    X[k2*n1 + k1] = sum_{j2} w_{n2}^{j2 k2} ( w_n^{j2 k1}
+                       sum_{j1} x[j1*n2 + j2] w_{n1}^{j1 k1} )
+
+i.e. transpose -> length-``n1`` DFTs on rows -> twiddle by ``w_n^{j2 k1}`` ->
+transpose -> length-``n2`` DFTs on rows -> transpose to natural order.
+
+All sizes (and ``omega``) must be powers of two, as the paper assumes.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from ..models.ideal_cache import CacheSim
+from .kernels import co_scan_copy
+from .transpose import co_transpose
+
+#: direct-DFT base-case size
+_BASE = 8
+
+
+def _is_pow2(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def brute_force_dft(cache: CacheSim, row) -> None:
+    """In-place direct DFT of a (short) row: ``L`` reads per output value.
+
+    Charges ``L^2`` reads and ``L`` writes for length ``L`` — the counts of
+    the paper's step 2(b)i (which writes each value to a separate row; we
+    buffer the ``L`` outputs in registers instead, with identical transfer
+    counts).
+    """
+    L = len(row)
+    out = []
+    for k in range(L):
+        acc = 0j
+        for j in range(L):
+            acc += row[j] * cmath.exp(-2j * cmath.pi * j * k / L)
+        out.append(acc)
+    for k in range(L):
+        row[k] = out[k]
+
+
+def _factor_step(
+    cache: CacheSim, x, n1: int, n2: int, fft_n1, fft_n2, *, fused: bool = False
+) -> None:
+    """One Cooley-Tukey factor step on contiguous ``x`` of length ``n1*n2``.
+
+    ``fft_n1`` / ``fft_n2`` transform a contiguous row view in place.
+
+    ``fused=True`` applies the improvement §5.2 sketches ("the transposes
+    ... can be merged"): the twiddle multiplication is folded into the
+    middle transpose instead of a separate read+write pass over the array,
+    saving one full sweep of reads *and* writes per recursion level.  The
+    default reproduces the as-described algorithm.
+    """
+    n = n1 * n2
+    t = cache.array(n, name="fft-scratch")
+    co_transpose(x, t, n1, n2)  # t: n2 x n1
+    for r in range(n2):
+        fft_n1(t.view(r * n1, n1))
+    if fused:
+        # transpose t -> x multiplying w_n^{j2 k1} on the fly
+        _transpose_twiddle(t, x, n2, n1, n)
+    else:
+        # twiddle: t[j2][k1] *= w_n^{j2 k1}  (one read + one write each)
+        for j2 in range(1, n2):  # row 0 multiplies by 1
+            base = j2 * n1
+            for k1 in range(1, n1):
+                t[base + k1] = t[base + k1] * cmath.exp(
+                    -2j * cmath.pi * j2 * k1 / n
+                )
+        co_transpose(t, x, n2, n1)  # x: n1 x n2
+    for r in range(n1):
+        fft_n2(x.view(r * n2, n2))
+    co_transpose(x, t, n1, n2)  # t holds natural order: t[k2*n1 + k1]
+    co_scan_copy(t, x)
+
+
+def _transpose_twiddle(src, dst, rows: int, cols: int, n: int) -> None:
+    """Cache-oblivious transpose that multiplies ``w_n^{row*col}`` in flight.
+
+    ``src`` is ``rows x cols`` row-major (rows = j2, cols = k1); ``dst``
+    receives the ``cols x rows`` transpose of ``src[j2][k1] * w_n^{j2 k1}``.
+    Same recursion (and hence the same O(rows*cols/B) miss bound) as
+    :func:`repro.cacheoblivious.transpose.co_transpose`.
+    """
+    def rec(r0: int, r1: int, c0: int, c1: int) -> None:
+        nr, nc = r1 - r0, c1 - c0
+        if nr * nc <= 16:
+            for r in range(r0, r1):
+                base = r * cols
+                for c in range(c0, c1):
+                    v = src[base + c]
+                    if r and c:
+                        v = v * cmath.exp(-2j * cmath.pi * r * c / n)
+                    dst[c * rows + r] = v
+            return
+        if nr >= nc:
+            mid = (r0 + r1) // 2
+            rec(r0, mid, c0, c1)
+            rec(mid, r1, c0, c1)
+        else:
+            mid = (c0 + c1) // 2
+            rec(r0, r1, c0, mid)
+            rec(r0, r1, mid, c1)
+
+    rec(0, rows, 0, cols)
+
+
+def co_fft(cache: CacheSim, x) -> None:
+    """Classic cache-oblivious FFT ([20]), in place.  ``len(x)`` = power of 2."""
+    n = len(x)
+    if not _is_pow2(n):
+        raise ValueError(f"FFT size must be a power of two, got {n}")
+    if n <= _BASE:
+        brute_force_dft(cache, x)
+        return
+    n1 = 1 << math.ceil(math.log2(n) / 2)
+    n2 = n // n1
+    _factor_step(
+        cache,
+        x,
+        n1,
+        n2,
+        lambda row: co_fft(cache, row),
+        lambda row: co_fft(cache, row),
+    )
+
+
+def co_fft_asymmetric(
+    cache: CacheSim, x, omega: int | None = None, *, fused: bool = False
+) -> None:
+    """The §5.2 write-efficient FFT, in place.
+
+    ``omega`` defaults to the cache's write-cost parameter (and must be a
+    power of two; ``omega = 1`` degenerates to :func:`co_fft`).
+
+    ``fused=True`` enables the merged twiddle-transpose optimisation that
+    §5.2 sketches in its closing paragraph; the default runs the algorithm
+    exactly as described (including its extra passes — see experiment E9).
+    """
+    if omega is None:
+        omega = cache.params.omega
+    n = len(x)
+    if not _is_pow2(n):
+        raise ValueError(f"FFT size must be a power of two, got {n}")
+    if not _is_pow2(omega):
+        raise ValueError(f"omega must be a power of two, got {omega}")
+    if omega == 1:
+        co_fft(cache, x)
+        return
+    _fft_asym(cache, x, omega, fused)
+
+
+def _fft_asym(cache: CacheSim, x, omega: int, fused: bool = False) -> None:
+    n = len(x)
+    if n <= max(_BASE, 2 * omega):
+        brute_force_dft(cache, x)
+        return
+    # n = (omega * m1) * m2 with m1, m2 as close as possible
+    t = int(math.log2(n // omega))
+    m1 = 1 << math.ceil(t / 2)
+    m2 = 1 << (t - math.ceil(t / 2))
+    n1 = omega * m1
+
+    def fft_long_row(row) -> None:
+        # step 2: the length-(omega*m1) row DFT, decomposed omega x m1 with
+        # brute-force omega-point column DFTs (the extra nesting level)
+        _factor_step(
+            cache,
+            row,
+            omega,
+            m1,
+            lambda r: brute_force_dft(cache, r),  # 2(b)i: brute force
+            lambda r: _fft_asym(cache, r, omega, fused),  # 2(b)ii: recurse
+            fused=fused,
+        )
+
+    _factor_step(
+        cache,
+        x,
+        n1,
+        m2,
+        fft_long_row,
+        lambda row: _fft_asym(cache, row, omega, fused),  # step 4
+        fused=fused,
+    )

@@ -1,0 +1,64 @@
+"""Primitive cache-oblivious kernels: scans and merges.
+
+Sequential scans are trivially cache-oblivious (``O(n/B)`` misses); a two-way
+merge is a pair of synchronised scans.  These are the building blocks the §5
+sort uses ("prefix sums and mergesort as subroutines ... described in [9]").
+"""
+
+from __future__ import annotations
+
+
+def co_scan_copy(src, dst) -> None:
+    """Copy ``src`` into ``dst`` with two synchronised scans: O(n/B) misses."""
+    if len(src) != len(dst):
+        raise ValueError(f"length mismatch: {len(src)} vs {len(dst)}")
+    for i in range(len(src)):
+        dst[i] = src[i]
+
+
+def co_merge(a, b, out) -> None:
+    """Merge two sorted arrays into ``out``: O((|a|+|b|)/B) misses."""
+    na, nb = len(a), len(b)
+    if len(out) != na + nb:
+        raise ValueError("output length must be |a| + |b|")
+    i = j = k = 0
+    if na and nb:
+        va = a[i]
+        vb = b[j]
+        while True:
+            if va <= vb:
+                out[k] = va
+                k += 1
+                i += 1
+                if i == na:
+                    break
+                va = a[i]
+            else:
+                out[k] = vb
+                k += 1
+                j += 1
+                if j == nb:
+                    break
+                vb = b[j]
+    while i < na:
+        out[k] = a[i]
+        i += 1
+        k += 1
+    while j < nb:
+        out[k] = b[j]
+        j += 1
+        k += 1
+
+
+def co_prefix_sum(arr) -> int:
+    """In-place exclusive prefix sum by linear scan; returns the total.
+
+    (The PRAM version is the classic O(log n)-depth tree; sequentially — the
+    order the Ideal-Cache model analyses — a scan has identical I/O.)
+    """
+    total = 0
+    for i in range(len(arr)):
+        v = arr[i]
+        arr[i] = total
+        total += v
+    return total

@@ -1,0 +1,217 @@
+"""§5.3: matrix multiplication under asymmetric read/write costs.
+
+Three algorithms:
+
+* :func:`em_blocked_matmul` — Theorem 5.2's explicit EM algorithm:
+  ``sqrt(M) x sqrt(M)`` tiles, each output tile accumulated entirely in
+  primary memory and written once.  ``O(n^3/(B sqrt(M)))`` reads,
+  ``O(n^2/B)`` writes.
+* :func:`co_matmul_classic` — the standard cache-oblivious divide-and-conquer
+  ([11, 20]): 2x2 block recursion, the two products per output quadrant
+  processed sequentially.  ``Theta(n^3/(B sqrt(M)))`` reads *and* writes.
+* :func:`co_matmul_asymmetric` — the paper's variant: recurse on an
+  ``omega x omega`` grid (``omega^3`` subproblems, the ``omega`` products per
+  output block sequential so the block stays cached), with a *randomized
+  first round* branching ``2^b`` for ``b`` uniform in ``1..log2(omega)``.
+  Expected ``O(n^3 omega/(B sqrt(M) log omega))`` reads and
+  ``O(n^3/(B sqrt(M) log omega))`` writes — an ``O(log omega)`` total-cost
+  improvement (Theorem 5.3).
+
+Matrices are dense, row-major over :class:`SimArray` (cache-oblivious
+algorithms) or tiled :class:`ExtArray` (EM algorithm).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..models.external_memory import AEMachine
+from ..models.ideal_cache import CacheSim
+
+#: triple-loop base-case dimension for the recursions
+_BASE = 4
+
+
+class Matrix:
+    """A square submatrix window over a row-major backing array."""
+
+    __slots__ = ("arr", "n", "row0", "col0", "size", "stride")
+
+    def __init__(self, arr, n: int, row0: int = 0, col0: int = 0, size: int | None = None):
+        self.arr = arr
+        self.n = n
+        self.stride = n
+        self.row0 = row0
+        self.col0 = col0
+        self.size = size if size is not None else n
+
+    @classmethod
+    def zeros(cls, cache: CacheSim, n: int, name: str = "") -> "Matrix":
+        arr = cache.array([0] * (n * n), name=name)
+        return cls(arr, n)
+
+    @classmethod
+    def from_rows(cls, cache: CacheSim, rows: list[list], name: str = "") -> "Matrix":
+        n = len(rows)
+        flat: list = []
+        for row in rows:
+            if len(row) != n:
+                raise ValueError("matrix must be square")
+            flat.extend(row)
+        return cls(cache.array(flat, name=name), n)
+
+    def sub(self, dr: int, dc: int, size: int) -> "Matrix":
+        """The ``size x size`` submatrix with top-left corner (dr, dc)."""
+        return Matrix(self.arr, self.n, self.row0 + dr, self.col0 + dc, size)
+
+    def get(self, r: int, c: int):
+        return self.arr[(self.row0 + r) * self.stride + self.col0 + c]
+
+    def set(self, r: int, c: int, v) -> None:
+        self.arr[(self.row0 + r) * self.stride + self.col0 + c] = v
+
+    def peek_rows(self) -> list[list]:
+        """Uncharged copy (verification only)."""
+        data = self.arr.peek_list() if hasattr(self.arr, "peek_list") else list(self.arr)
+        return [
+            [
+                data[(self.row0 + r) * self.stride + self.col0 + c]
+                for c in range(self.size)
+            ]
+            for r in range(self.size)
+        ]
+
+
+def _base_multiply(A: Matrix, B: Matrix, C: Matrix) -> None:
+    """C += A @ B by triple loop; each C entry read once and written once."""
+    s = A.size
+    for i in range(s):
+        for j in range(s):
+            acc = C.get(i, j)
+            for k in range(s):
+                acc += A.get(i, k) * B.get(k, j)
+            C.set(i, j, acc)
+
+
+def co_matmul_classic(cache: CacheSim, A: Matrix, B: Matrix, C: Matrix) -> None:
+    """Standard cache-oblivious C += A @ B (2x2 block recursion)."""
+    s = A.size
+    if s != B.size or s != C.size:
+        raise ValueError("size mismatch")
+    if s <= _BASE:
+        _base_multiply(A, B, C)
+        return
+    h = s // 2
+    if 2 * h != s:
+        raise ValueError(f"matrix size must be a power of two, got {s}")
+    for u in (0, 1):
+        for v in (0, 1):
+            Cuv = C.sub(u * h, v * h, h)
+            # the two products into Cuv run sequentially (block stays cached)
+            co_matmul_classic(cache, A.sub(u * h, 0, h), B.sub(0, v * h, h), Cuv)
+            co_matmul_classic(cache, A.sub(u * h, h, h), B.sub(h, v * h, h), Cuv)
+
+
+def co_matmul_asymmetric(
+    cache: CacheSim,
+    A: Matrix,
+    B: Matrix,
+    C: Matrix,
+    omega: int | None = None,
+    seed: int = 0,
+) -> None:
+    """The Theorem 5.3 algorithm: omega x omega recursion, randomized first
+    round.  ``omega`` must be a power of two (defaults to the cache's)."""
+    if omega is None:
+        omega = cache.params.omega
+    if omega < 2 or omega & (omega - 1):
+        raise ValueError(f"omega must be a power of two >= 2, got {omega}")
+    rng = random.Random(seed)
+    # first round: branching 2^b, b uniform in 1..log2(omega)
+    b = rng.randint(1, int(math.log2(omega)))
+    _mm_grid(cache, A, B, C, 1 << b, omega)
+
+
+def _mm_grid(cache: CacheSim, A: Matrix, B: Matrix, C: Matrix, g: int, omega: int) -> None:
+    """Recurse on a g x g grid of blocks (g = omega after the first round)."""
+    s = A.size
+    if s <= _BASE or s < g:
+        _base_multiply(A, B, C)
+        return
+    if s % g:
+        raise ValueError(f"matrix size {s} not divisible by branching factor {g}")
+    h = s // g
+    for u in range(g):
+        for v in range(g):
+            Cuv = C.sub(u * h, v * h, h)
+            for w in range(g):  # sequential: Cuv stays cached across products
+                _mm_grid(cache, A.sub(u * h, w * h, h), B.sub(w * h, v * h, h), Cuv, omega, omega)
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 5.2: explicit EM blocked matmul
+# ---------------------------------------------------------------------- #
+def em_blocked_matmul(machine: AEMachine, A_rows: list[list], B_rows: list[list]) -> list[list]:
+    """Multiply two ``n x n`` matrices on the AEM machine with
+    ``t x t`` tiles, ``t = floor(sqrt(M/3))`` (three tiles resident at once).
+
+    Each output tile is accumulated in primary memory across all ``n/t``
+    products and written exactly once: ``O(n^3/(B sqrt(M)))`` block reads,
+    ``O(n^2/B)`` block writes (Theorem 5.2).  Returns the product rows.
+    """
+    n = len(A_rows)
+    params = machine.params
+    t = max(1, int(math.isqrt(params.M // 3)))
+    t = min(t, n)
+    if n % t:
+        # shrink to a divisor of n so tiles align (counts unaffected in O())
+        while n % t:
+            t -= 1
+    g = n // t
+
+    def make_tiles(rows: list[list], name: str) -> list[list]:
+        tiles = []
+        for bi in range(g):
+            row_tiles = []
+            for bj in range(g):
+                flat = []
+                for r in range(bi * t, (bi + 1) * t):
+                    flat.extend(rows[r][bj * t : (bj + 1) * t])
+                row_tiles.append(machine.from_list(flat, name=f"{name}[{bi}][{bj}]"))
+            tiles.append(row_tiles)
+        return tiles
+
+    A_tiles = make_tiles(A_rows, "A")
+    B_tiles = make_tiles(B_rows, "B")
+
+    out_rows = [[0] * n for _ in range(n)]
+    for bi in range(g):
+        for bj in range(g):
+            acc = [0.0] * (t * t)  # resident output tile
+            for bk in range(g):
+                a = _read_tile(machine, A_tiles[bi][bk])
+                b = _read_tile(machine, B_tiles[bk][bj])
+                for r in range(t):
+                    arow = a[r * t : (r + 1) * t]
+                    accrow_base = r * t
+                    for c in range(t):
+                        s = 0.0
+                        for k in range(t):
+                            s += arow[k] * b[k * t + c]
+                        acc[accrow_base + c] += s
+            # write the finished tile once
+            writer = machine.writer(name=f"C[{bi}][{bj}]")
+            writer.extend(acc)
+            writer.close()
+            for r in range(t):
+                for c in range(t):
+                    out_rows[bi * t + r][bj * t + c] = acc[r * t + c]
+    return out_rows
+
+
+def _read_tile(machine: AEMachine, tile) -> list:
+    vals: list = []
+    for rec in machine.scan(tile):
+        vals.append(rec)
+    return vals

@@ -1,0 +1,90 @@
+"""Cache-oblivious matrix transpose and the bucket transpose of the §5 sort.
+
+Both follow the classic Frigo et al. recursion: split the larger dimension in
+half until the submatrix is small, then move elements directly.  Under the
+tall-cache assumption this costs ``O(nm/B)`` misses, obliviously.
+
+The *bucket transpose* generalises element transpose to ragged segments: the
+(row, bucket) grid of the §5 sort holds a variable-length segment per cell;
+recursing over the grid (splitting the larger of rows/buckets) keeps both the
+source segments and the destination buckets block-local, which is exactly how
+[9] achieves ``O(n/B)`` for the bucket-placement step.
+"""
+
+from __future__ import annotations
+
+#: below this many cells the recursion copies directly
+_BASE_CELLS = 16
+
+
+def co_transpose(src, dst, rows: int, cols: int) -> None:
+    """Transpose the ``rows x cols`` row-major ``src`` into the
+    ``cols x rows`` row-major ``dst`` (distinct arrays), cache-obliviously."""
+    if len(src) != rows * cols or len(dst) != rows * cols:
+        raise ValueError("array sizes must equal rows*cols")
+    _transpose_rec(src, dst, 0, rows, 0, cols, cols, rows)
+
+
+def _transpose_rec(src, dst, r0: int, r1: int, c0: int, c1: int, src_stride: int, dst_stride: int) -> None:
+    nr, nc = r1 - r0, c1 - c0
+    if nr * nc <= _BASE_CELLS:
+        for r in range(r0, r1):
+            base = r * src_stride
+            for c in range(c0, c1):
+                dst[c * dst_stride + r] = src[base + c]
+        return
+    if nr >= nc:
+        mid = (r0 + r1) // 2
+        _transpose_rec(src, dst, r0, mid, c0, c1, src_stride, dst_stride)
+        _transpose_rec(src, dst, mid, r1, c0, c1, src_stride, dst_stride)
+    else:
+        mid = (c0 + c1) // 2
+        _transpose_rec(src, dst, r0, r1, c0, mid, src_stride, dst_stride)
+        _transpose_rec(src, dst, r0, r1, mid, c1, src_stride, dst_stride)
+
+
+def bucket_transpose(
+    src,
+    dst,
+    seg_start,
+    seg_len,
+    dst_start,
+    rows: int,
+    buckets: int,
+) -> None:
+    """Move every (row, bucket) segment of ``src`` to its bucket-contiguous
+    position in ``dst``, cache-obliviously.
+
+    Parameters
+    ----------
+    seg_start, seg_len:
+        Row-major ``rows x buckets`` arrays: segment (r, b) occupies
+        ``src[seg_start[r*buckets+b] : +seg_len[r*buckets+b]]``.
+    dst_start:
+        Row-major ``rows x buckets`` array of destination offsets into
+        ``dst`` (bucket-major layout: bucket b's region holds its segments
+        in row order).
+    """
+    _bucket_rec(src, dst, seg_start, seg_len, dst_start, 0, rows, 0, buckets, buckets)
+
+
+def _bucket_rec(src, dst, seg_start, seg_len, dst_start, r0, r1, b0, b1, stride) -> None:
+    nr, nb = r1 - r0, b1 - b0
+    if nr * nb <= _BASE_CELLS:
+        for r in range(r0, r1):
+            base = r * stride
+            for b in range(b0, b1):
+                start = seg_start[base + b]
+                length = seg_len[base + b]
+                dest = dst_start[base + b]
+                for i in range(length):
+                    dst[dest + i] = src[start + i]
+        return
+    if nr >= nb:
+        mid = (r0 + r1) // 2
+        _bucket_rec(src, dst, seg_start, seg_len, dst_start, r0, mid, b0, b1, stride)
+        _bucket_rec(src, dst, seg_start, seg_len, dst_start, mid, r1, b0, b1, stride)
+    else:
+        mid = (b0 + b1) // 2
+        _bucket_rec(src, dst, seg_start, seg_len, dst_start, r0, r1, b0, mid, stride)
+        _bucket_rec(src, dst, seg_start, seg_len, dst_start, r0, r1, mid, b1, stride)

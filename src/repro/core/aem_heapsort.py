@@ -1,0 +1,288 @@
+"""§4.3.3: the write-efficient AEM priority queue and buffer-tree heapsort.
+
+The priority queue layers three stores, smallest keys first:
+
+* **alpha working set** — at most ``M/4`` records, resident in primary memory
+  (operations free);
+* **beta working set** — at most ``2kM`` records in external blocks, appended
+  unsorted, with *implicit deletions* tracked by an in-memory list of pairs
+  ``(i, x)`` meaning "every record at index <= i with key <= x is invalid";
+  rebuilt (compacted) after ``k`` extractions or on overflow;
+* **buffer tree** — everything else (:class:`~repro.core.buffer_tree.BufferTree`).
+
+Routing invariant: every alpha record <= every valid beta record <= every
+buffer-tree record.  Inserts route by comparing against the in-memory maxima
+``alpha_max`` / ``beta_max``; DELETE-MIN pops alpha, refilling alpha from beta
+(``M/4`` smallest valid, Lemma 4.8) and beta from the tree's leftmost leaf.
+
+Theorem 4.10: ``n`` INSERT / DELETE-MIN operations cost amortized
+``O((k/B)(1 + log_{kM/B} n))`` reads and ``O((1/B)(1 + log_{kM/B} n))``
+writes each.  Heapsort via the queue therefore matches the §4.1/§4.2 sorting
+bounds (the paper's closing remark of §4.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+
+from ..models.external_memory import AEMachine, BlockWriter, ExtArray, MemoryGuard
+from .buffer_tree import BufferTree
+
+
+class AEMPriorityQueue:
+    """Write-efficient external-memory priority queue (INSERT / DELETE-MIN)."""
+
+    def __init__(self, machine: AEMachine, k: int = 1, guard: MemoryGuard | None = None):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.machine = machine
+        self.k = k
+        self.guard = guard if guard is not None else MemoryGuard()
+        params = machine.params
+
+        self.alpha_capacity = max(1, params.M // 4)
+        self.beta_capacity = 2 * k * params.M
+
+        self.tree = BufferTree(machine, k)
+        self._alpha: list = []  # sorted ascending, in memory (free)
+        self._beta: ExtArray = machine.allocate("beta")
+        self._beta_writer: BlockWriter | None = None  # last block in memory
+        self._beta_len = 0  # total records ever appended (incl. invalid)
+        self._beta_valid = 0
+        self._beta_max = None  # max *valid* key in beta (None = empty)
+        self._pairs: list[tuple[int, object]] = []  # implicit-deletion list
+        self._extractions_since_rebuild = 0
+        self.size = 0
+        # statistics for the E5 experiment
+        self.beta_rebuilds = 0
+        self.beta_overflows = 0
+        self.alpha_refills = 0
+        self.tree_refills = 0
+
+        # primary-memory footprint: alpha + deletion pairs + beta/root
+        # partial blocks + transfer buffers
+        self.guard.acquire(self.alpha_capacity + 4 * params.B)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def _alpha_max(self):
+        return self._alpha[-1] if self._alpha else None
+
+    # ------------------------------------------------------------------ #
+    # INSERT
+    # ------------------------------------------------------------------ #
+    def insert(self, key) -> None:
+        """Route ``key`` by the alpha/beta maxima (§4.3.3)."""
+        self.size += 1
+        if self._alpha and key < self._alpha[-1]:
+            bisect.insort(self._alpha, key)  # in-memory, free
+            if len(self._alpha) > self.alpha_capacity:
+                spill = self._alpha.pop()  # largest; still <= every beta key
+                self._beta_append(spill)
+            return
+        if self._beta_max is not None and key < self._beta_max:
+            self._beta_append(key)
+            return
+        self.tree.insert(key)
+
+    def _beta_append(self, key) -> None:
+        if self._beta_writer is None or self._beta_writer.closed:
+            self._beta_writer = BlockWriter(self.machine, self._beta)
+        self._beta_writer.append(key)
+        self._beta_len += 1
+        self._beta_valid += 1
+        if self._beta_max is None or key > self._beta_max:
+            self._beta_max = key
+        if self._beta_valid > self.beta_capacity:
+            self._beta_overflow()
+
+    # ------------------------------------------------------------------ #
+    # DELETE-MIN
+    # ------------------------------------------------------------------ #
+    def delete_min(self):
+        """Pop the global minimum; refill alpha/beta lazily as needed."""
+        if self.size == 0:
+            raise IndexError("delete_min from an empty priority queue")
+        if not self._alpha:
+            self._refill_alpha()
+        self.size -= 1
+        return self._alpha.pop(0)
+
+    def _refill_alpha(self) -> None:
+        if self._beta_valid == 0:
+            self._refill_beta_from_tree()
+        self.alpha_refills += 1
+        take = min(self.alpha_capacity, self._beta_valid)
+        assert take > 0, "refill with no records anywhere despite size > 0"
+        # Lemma 4.8: one read-only pass over beta keeping the `take` smallest
+        # valid records in memory (a bounded max-heap), then one appended
+        # deletion pair.
+        self._seal_beta_writer()
+        smallest: list = []  # max-heap via negation
+        for rec in self._iter_valid_beta():
+            if len(smallest) < take:
+                heapq.heappush(smallest, _Neg(rec))
+            elif rec < smallest[0].value:
+                heapq.heapreplace(smallest, _Neg(rec))
+        batch = sorted(item.value for item in smallest)
+        self._alpha = batch
+        x = batch[-1]
+        # implicit deletion: everything with index <= current length and key
+        # <= x is now invalid; keep the pair list's (i asc, x desc) invariant
+        while self._pairs and self._pairs[-1][1] <= x:
+            self._pairs.pop()
+        self._pairs.append((self._beta_len - 1, x))
+        self._beta_valid -= len(batch)
+        if self._beta_valid == 0:
+            self._beta_max = None
+        self._extractions_since_rebuild += 1
+        if self._extractions_since_rebuild >= self.k:
+            self._rebuild_beta()
+
+    def _iter_valid_beta(self):
+        """Stream beta's valid records: scan blocks, filtering by the pair
+        list (record at index j is invalid iff some pair (i, x) has j <= i
+        and key <= x; with the invariant it suffices to find the first pair
+        with i >= j and compare against its x)."""
+        pairs = self._pairs
+        idx = 0
+        pi = 0
+        for bi in range(self._beta.num_blocks):
+            block = self.machine.read_block(self._beta, bi)
+            for rec in block:
+                while pi < len(pairs) and pairs[pi][0] < idx:
+                    pi += 1
+                invalid = pi < len(pairs) and rec <= pairs[pi][1]
+                if not invalid:
+                    yield rec
+                idx += 1
+
+    def _seal_beta_writer(self) -> None:
+        if self._beta_writer is not None and not self._beta_writer.closed:
+            self._beta_writer.close()
+            self._beta_writer = None
+
+    # ------------------------------------------------------------------ #
+    # beta maintenance
+    # ------------------------------------------------------------------ #
+    def _rebuild_beta(self) -> None:
+        """Compact beta: drop invalid records, clear the pair list (Lem 4.9)."""
+        self.beta_rebuilds += 1
+        self._seal_beta_writer()
+        writer = self.machine.writer(name="beta")
+        count = 0
+        new_max = None
+        for rec in self._iter_valid_beta():
+            writer.append(rec)
+            count += 1
+            if new_max is None or rec > new_max:
+                new_max = rec
+        self._beta = writer.close()
+        self._beta_len = count
+        self._beta_valid = count
+        self._beta_max = new_max
+        self._pairs = []
+        self._extractions_since_rebuild = 0
+
+    def _beta_overflow(self) -> None:
+        """Beta exceeded ``2kM`` valid records: rebuild, sort, keep the
+        smallest ``kM`` in beta and push the largest ``kM`` into the tree."""
+        self.beta_overflows += 1
+        self._rebuild_beta()
+        from .selection_sort import selection_sort
+
+        sorted_beta = selection_sort(self.machine, self._beta, guard=self.guard)
+        keep = self._beta_valid - self._beta_valid // 2
+        writer = self.machine.writer(name="beta")
+        new_max = None
+        idx = 0
+        for rec in self.machine.scan(sorted_beta):
+            if idx < keep:
+                writer.append(rec)
+                new_max = rec
+            else:
+                self.tree.insert(rec)
+            idx += 1
+        self._beta = writer.close()
+        self._beta_len = keep
+        self._beta_valid = keep
+        self._beta_max = new_max
+        self._pairs = []
+
+    # ------------------------------------------------------------------ #
+    # tree refill
+    # ------------------------------------------------------------------ #
+    def _refill_beta_from_tree(self) -> None:
+        """Beta is empty: pull the buffer tree's leftmost leaf (>= kM/4
+        records once the tree is warm) into beta."""
+        self.tree_refills += 1
+        leaf = self.tree.pop_leftmost_leaf()
+        if leaf is None:
+            raise AssertionError("tree refill requested but buffer tree is empty")
+        # rewrite the (sorted) leaf as the new beta contents
+        writer = self.machine.writer(name="beta")
+        count = 0
+        new_max = None
+        for rec in self.machine.scan(leaf):
+            writer.append(rec)
+            count += 1
+            new_max = rec
+        self._beta = writer.close()
+        self._beta_len = count
+        self._beta_valid = count
+        self._beta_max = new_max
+        self._pairs = []
+        self._extractions_since_rebuild = 0
+
+
+class _Neg:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Neg") -> bool:
+        return self.value > other.value
+
+
+# ---------------------------------------------------------------------- #
+# heapsort driver
+# ---------------------------------------------------------------------- #
+def aem_heapsort(
+    machine: AEMachine,
+    arr: ExtArray,
+    k: int = 1,
+    guard: MemoryGuard | None = None,
+) -> ExtArray:
+    """Sort by ``n`` INSERTs followed by ``n`` DELETE-MINs (§4.3 closing).
+
+    Total cost ``O((kn/B)(1 + log_{kM/B} n))`` reads and
+    ``O((n/B)(1 + log_{kM/B} n))`` writes, matching Theorem 4.10.
+    """
+    pq = AEMPriorityQueue(machine, k, guard=guard)
+    for rec in machine.scan(arr):
+        pq.insert(rec)
+    out = machine.writer(name="heapsort-out")
+    for _ in range(arr.length):
+        out.append(pq.delete_min())
+    return out.close()
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 4.10 closed forms
+# ---------------------------------------------------------------------- #
+def predicted_amortized_reads(n: int, M: int, B: int, k: int) -> float:
+    """Per-operation read bound (unit leading constant)."""
+    levels = 1 + max(0.0, math.log(max(n, 2)) / math.log(k * M / B))
+    return (k / B) * levels
+
+
+def predicted_amortized_writes(n: int, M: int, B: int, k: int) -> float:
+    """Per-operation write bound (unit leading constant)."""
+    levels = 1 + max(0.0, math.log(max(n, 2)) / math.log(k * M / B))
+    return (1 / B) * levels

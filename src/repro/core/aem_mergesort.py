@@ -1,0 +1,246 @@
+"""Algorithm 2: AEM mergesort with branching factor l = kM/B (§4.1).
+
+Structure
+---------
+* Base case ``n <= kM``: the Lemma 4.2 selection sort.
+* Otherwise: partition into ``l = kM/B`` block-aligned subarrays (free),
+  recursively sort each, then merge all ``l`` runs with an in-memory
+  priority queue of capacity ``M``, in *rounds*:
+
+  - **Phase 1** re-reads the current block of every run and inserts eligible
+    records (``lastV < key``) into the queue, ejecting the maximum when full.
+  - **Phase 2** drains the queue in increasing order to the output; whenever
+    the popped record is the last of its block, the run's pointer advances
+    and the next block is processed immediately.
+
+Theorem 4.3 bounds: ``R(n) <= (k+1) ceil(n/B) ceil(log_{kM/B}(n/B))`` reads
+and ``W(n) <= ceil(n/B) ceil(log_{kM/B}(n/B))`` writes.
+
+Round-threshold correction
+--------------------------
+The paper's pseudocode admits phase-2 records whenever ``lastV < key <
+Q.max`` with ``Q.max = +inf`` when the queue is not full.  As written this
+can *strand a record permanently*: a record ``r`` rejected in phase 1
+(``r > Q.max``) stays in its un-advanced block, but phase 2 may admit and
+output later-block records **larger** than ``r`` (the queue is no longer
+full, so ``Q.max = +inf``); once ``lastV > r``, every later round's filter
+``(lastV, Q.max)`` excludes ``r`` forever.
+
+Fix: maintain a per-round threshold ``T`` (initially ``+inf``).  Whenever a
+record is passed over because of queue capacity — ejected, or skipped because
+``key >= Q.max`` — lower ``T`` to that record's key.  Admit records only when
+``lastV < key < T``.  Invariants (asserted in tests):
+
+* queue contents are always ``< T`` (ejection sets ``T`` to the old max;
+  skipping sets ``T`` to a key ``>=`` the current max), so every output of
+  the round is ``< T``;
+* every stranded record has key ``>= T > lastV`` at round end, so the next
+  round's phase 1 re-admits it;
+* outputs within a round are strictly increasing (phase-2 insertions exceed
+  the just-popped block-last record, which is the running maximum pop).
+
+A round still outputs at least ``M`` records whenever any capacity event
+occurred (the queue held ``M`` records at that moment and all of them pop
+this round), so Lemma 4.1's ``ceil(n/M)``-round bound — and hence Theorem
+4.3 — is unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
+from .selection_sort import selection_sort
+
+_INF = object()  # sentinel: larger than every key
+
+
+class StrandingDetected(RuntimeError):
+    """Raised when the paper-literal merge (``round_threshold=False``)
+    permanently strands a record — the erratum this module's docstring
+    documents.  The fixed algorithm never raises this."""
+
+
+class _MergeQueue:
+    """In-memory double-ended priority queue of capacity M.
+
+    Primary-memory operations are free in the AEM model, so we simply keep a
+    sorted list (``bisect``-maintained).  Entries are ``(key, run_index,
+    is_last_in_block)``.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._items: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def max_key(self):
+        """Largest key currently in the queue (queue must be non-empty)."""
+        return self._items[-1][0]
+
+    def push(self, entry: tuple) -> None:
+        bisect.insort(self._items, entry)
+
+    def pop_min(self) -> tuple:
+        return self._items.pop(0)
+
+    def eject_max(self) -> tuple:
+        return self._items.pop()
+
+
+def aem_mergesort(
+    machine: AEMachine,
+    arr: ExtArray,
+    k: int = 1,
+    guard: MemoryGuard | None = None,
+    *,
+    round_threshold: bool = True,
+) -> ExtArray:
+    """Sort ``arr`` on the AEM machine; ``k = 1`` recovers classic EM mergesort.
+
+    Parameters
+    ----------
+    k:
+        Extra branching factor, ``1 <= k`` (the paper uses ``k = O(omega)``;
+        Appendix A gives the profitable range ``k/log k < omega/log(M/B)``).
+    round_threshold:
+        ``True`` (default) applies the round-threshold correction described
+        in the module docstring.  ``False`` runs the paper's pseudocode
+        *literally* — provided as an ablation so the erratum is empirically
+        demonstrable; on adversarial inputs it raises
+        :class:`StrandingDetected` instead of silently dropping records.
+
+    Returns a new sorted :class:`ExtArray`.
+    """
+    params = machine.params
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    l = params.fanout(k)
+    if l < 2:
+        raise ValueError(
+            f"fanout l = k*M/B = {l} < 2; increase M/B or k so merging can make progress"
+        )
+    if guard is None:
+        guard = MemoryGuard()
+
+    if arr.length <= k * params.M:
+        return selection_sort(machine, arr, guard=guard)
+
+    runs = machine.split_blocks(arr, l)
+    sorted_runs = [
+        aem_mergesort(machine, run, k, guard, round_threshold=round_threshold)
+        for run in runs
+    ]
+    return _merge(machine, sorted_runs, guard, round_threshold=round_threshold)
+
+
+def _merge(
+    machine: AEMachine,
+    runs: list[ExtArray],
+    guard: MemoryGuard,
+    *,
+    round_threshold: bool = True,
+) -> ExtArray:
+    """Lemma 4.1 multi-way merge (with the round-threshold correction)."""
+    params = machine.params
+    n = sum(r.length for r in runs)
+    out = machine.writer(name="merge-out")
+    if n == 0:
+        return out.close()
+
+    # primary memory: queue (M) + load buffer (B) + store buffer (B)
+    footprint = params.M + 2 * params.B
+    guard.acquire(footprint)
+
+    queue = _MergeQueue(params.M)
+    pointers = [0] * len(runs)  # I_1..I_l: current block index per run
+    last_v = None  # last value written to the output (None = -inf)
+    written = 0
+    threshold = _INF  # per-round cap T (reset each round)
+
+    def admissible(key) -> bool:
+        if last_v is not None and key <= last_v:
+            return False
+        return threshold is _INF or key < threshold
+
+    def process_block(i: int) -> None:
+        """Read run i's current block and insert eligible records."""
+        nonlocal threshold
+        run = runs[i]
+        bi = pointers[i]
+        if bi >= run.num_blocks:
+            return
+        block = machine.read_block(run, bi)
+        for pos, rec in enumerate(block):
+            if not admissible(rec):
+                continue
+            is_last = pos == len(block) - 1
+            if queue.full:
+                if rec < queue.max_key():
+                    ejected = queue.eject_max()
+                    if round_threshold:
+                        threshold = (
+                            ejected[0]
+                            if threshold is _INF
+                            else min(threshold, ejected[0])
+                        )
+                    queue.push((rec, i, is_last))
+                elif round_threshold:
+                    # skipped due to capacity: cap the round at this key
+                    threshold = (
+                        rec if threshold is _INF else min(threshold, rec)
+                    )
+            else:
+                queue.push((rec, i, is_last))
+
+    while written < n:
+        threshold = _INF
+        # ---- phase 1: one pass over every run's current block ----------
+        for i in range(len(runs)):
+            process_block(i)
+        if len(queue) == 0:
+            raise StrandingDetected(
+                "merge round admitted no records with "
+                f"{n - written} unwritten: the paper-literal filter stranded "
+                "them (see the module docstring erratum)"
+            )
+        # ---- phase 2: drain the queue, chasing block boundaries --------
+        while len(queue) > 0:
+            key, i, is_last = queue.pop_min()
+            out.append(key)
+            last_v = key
+            written += 1
+            if is_last:
+                pointers[i] += 1
+                process_block(i)
+
+    guard.release(footprint)
+    return out.close()
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 4.3 closed forms
+# ---------------------------------------------------------------------- #
+def merge_levels(n: int, M: int, B: int, k: int) -> int:
+    """``ceil(log_{kM/B}(n/B))`` — recursion levels including the base round."""
+    if n <= B:
+        return 1
+    l = k * M // B
+    return max(1, math.ceil(math.log(n / B) / math.log(l)))
+
+
+def predicted_reads(n: int, M: int, B: int, k: int) -> int:
+    """Theorem 4.3: ``R(n) <= (k+1) ceil(n/B) ceil(log_{kM/B}(n/B))``."""
+    return (k + 1) * math.ceil(n / B) * merge_levels(n, M, B, k)
+
+
+def predicted_writes(n: int, M: int, B: int, k: int) -> int:
+    """Theorem 4.3: ``W(n) <= ceil(n/B) ceil(log_{kM/B}(n/B))``."""
+    return math.ceil(n / B) * merge_levels(n, M, B, k)

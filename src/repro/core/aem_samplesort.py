@@ -1,0 +1,280 @@
+"""§4.2: AEM sample sort (distribution sort) with fanout l = kM/B.
+
+Each level of recursion:
+
+1. **Splitter selection** — sample ``Theta(l log n0)`` keys at random, sort
+   the sample externally (2-way EM mergesort), sub-select ``l - 1`` evenly
+   spaced splitters.  W.h.p. every bucket is within a constant factor of the
+   average size ``n/l`` (Frazer–McKellar / Blelloch et al. over-sampling).
+2. **Partitioning** — ``k`` rounds over the splitters, ``M/B`` splitters per
+   round.  Each round scans the entire input (``ceil(n/B)`` reads) and writes
+   out only the records belonging to that round's ``M/B`` buckets (one
+   in-memory partial block per bucket, hence the ``+ l`` partial-block write
+   term of Theorem 4.5).
+3. **Recursion** on each bucket; base case ``n <= kM`` uses Lemma 4.2.
+
+Small-subproblem rule (from the paper): when ``n <= k^2 M^2 / B`` the fanout
+drops to ``l = ceil(n/(kM))`` so the splitter-sorting cost stays a
+lower-order term; this guarantees ``l <= sqrt(n/B)``.
+
+Theorem 4.5 bounds (w.h.p.): ``R(n) = O((kn/B) ceil(log_{kM/B}(n/B)))`` and
+``W(n) = O((n/B) ceil(log_{kM/B}(n/B)))``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+
+from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
+from .em_utils import em_two_way_mergesort
+from .selection_sort import selection_sort
+
+#: Over-sampling multiplier (the paper's Theta(l log n0) constant).
+SAMPLE_FACTOR = 4
+
+
+def aem_samplesort(
+    machine: AEMachine,
+    arr: ExtArray,
+    k: int = 1,
+    seed: int = 0,
+    guard: MemoryGuard | None = None,
+    sample_factor: int = SAMPLE_FACTOR,
+    splitters: str = "random",
+) -> ExtArray:
+    """Sort ``arr`` with the §4.2 sample sort; ``k = 1`` is the classic EM
+    distribution sort.  Returns a new sorted :class:`ExtArray`.
+
+    ``sample_factor`` scales the over-sampling constant (the Theta in
+    ``Theta(l log n0)``); the E17 ablation sweeps it to show the bucket-
+    balance / sampling-cost trade.
+
+    ``splitters="deterministic"`` uses the Aggarwal–Vitter-style selection
+    the paper says "is likely" to work (§4.2's closing remark): sort
+    ``M``-record chunks in memory, keep every ``(M/(2l))``-th record of each
+    sorted chunk, sort the collected sample, sub-select ``l - 1`` evenly.
+    The classic counting argument makes every bucket at most ``~2n/l``
+    records **deterministically** (no w.h.p. qualifier); the cost is one
+    extra input scan per level, absorbed by Theorem 4.5's ``O(kn/B)``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if sample_factor < 1:
+        raise ValueError(f"sample_factor must be >= 1, got {sample_factor}")
+    if splitters not in ("random", "deterministic"):
+        raise ValueError(f"unknown splitter mode {splitters!r}")
+    if guard is None:
+        guard = MemoryGuard()
+    rng = random.Random(seed)
+    return _sort(
+        machine,
+        arr,
+        k,
+        rng,
+        guard,
+        n0=max(arr.length, 2),
+        sf=sample_factor,
+        deterministic=splitters == "deterministic",
+    )
+
+
+def _sort(
+    machine: AEMachine,
+    arr: ExtArray,
+    k: int,
+    rng: random.Random,
+    guard: MemoryGuard,
+    n0: int,
+    sf: int = SAMPLE_FACTOR,
+    deterministic: bool = False,
+) -> ExtArray:
+    params = machine.params
+    n = arr.length
+
+    if n <= k * params.M:
+        return selection_sort(machine, arr, guard=guard)
+
+    # fanout: full l = kM/B, except near the bottom of the recursion
+    if n <= (k * params.M) ** 2 / params.B:
+        l = max(2, math.ceil(n / (k * params.M)))
+    else:
+        l = params.fanout(k)
+
+    if deterministic:
+        splitters = _choose_splitters_deterministic(machine, arr, l)
+    else:
+        splitters = _choose_splitters(machine, arr, l, rng, n0, sf=sf)
+    buckets = _partition(machine, arr, splitters, k, guard)
+    sorted_buckets = [
+        _sort(machine, b, k, rng, guard, n0, sf=sf, deterministic=deterministic)
+        for b in buckets
+    ]
+    return machine.concat(sorted_buckets, name="samplesort-out")
+
+
+# ---------------------------------------------------------------------- #
+# splitter selection
+# ---------------------------------------------------------------------- #
+def _choose_splitters(
+    machine: AEMachine,
+    arr: ExtArray,
+    l: int,
+    rng: random.Random,
+    n0: int,
+    sf: int = SAMPLE_FACTOR,
+) -> list:
+    """Sample, sort externally, sub-select ``l - 1`` evenly spaced keys."""
+    n = arr.length
+    m = min(n, sf * l * max(1, math.ceil(math.log2(n0))))
+
+    # Read the sampled records.  Sampling by position, grouped by block so a
+    # block containing several samples is read once.
+    positions = sorted(rng.sample(range(n), m))
+    sample_writer = machine.writer(name="sample")
+    B = machine.params.B
+    # positions -> (block, offset); arr may contain partial blocks, so walk
+    # blocks in order tracking the running record offset.
+    pos_iter = iter(positions)
+    want = next(pos_iter, None)
+    offset = 0
+    for bi in range(arr.num_blocks):
+        blk_len = len(arr._blocks[bi])  # length lookup is free bookkeeping
+        if want is None:
+            break
+        if want >= offset + blk_len:
+            offset += blk_len
+            continue
+        block = machine.read_block(arr, bi)
+        while want is not None and want < offset + blk_len:
+            sample_writer.append(block[want - offset])
+            want = next(pos_iter, None)
+        offset += blk_len
+    sample = em_two_way_mergesort(machine, sample_writer.close())
+
+    # sub-select every (m/l)-th record as a splitter
+    step = max(1, m // l)
+    targets = [i * step for i in range(1, l) if i * step < m]
+    splitters: list = []
+    ti = 0
+    idx = 0
+    for rec in machine.scan(sample):
+        if ti < len(targets) and idx == targets[ti]:
+            splitters.append(rec)
+            ti += 1
+        idx += 1
+    return splitters
+
+
+def _choose_splitters_deterministic(
+    machine: AEMachine, arr: ExtArray, l: int
+) -> list:
+    """Aggarwal–Vitter-style deterministic splitters (§4.2's closing remark).
+
+    Sort each ``M``-record chunk in memory (one scan), keep every
+    ``ceil(M/(2l))``-th record of each sorted chunk as a sample (``~2l`` per
+    chunk), sort the collected sample externally, and sub-select ``l - 1``
+    evenly spaced keys.  A rank-counting argument bounds every bucket by
+    roughly ``2n/l`` records with no probabilistic qualifier: between two
+    consecutive chosen splitters each chunk contributes at most
+    ``ceil(M/(2l))`` records per sample gap.
+    """
+    params = machine.params
+    n = arr.length
+    stride = max(1, math.ceil(params.M / (2 * l)))
+
+    sample_writer = machine.writer(name="det-sample")
+    chunk: list = []
+
+    def flush_chunk() -> None:
+        if not chunk:
+            return
+        chunk.sort()  # in primary memory: free
+        for idx in range(stride - 1, len(chunk), stride):
+            sample_writer.append(chunk[idx])
+        chunk.clear()
+
+    for rec in machine.scan(arr):
+        chunk.append(rec)
+        if len(chunk) == params.M:
+            flush_chunk()
+    flush_chunk()
+    sample = em_two_way_mergesort(machine, sample_writer.close())
+
+    m = sample.length
+    if m == 0:
+        return []
+    step = max(1, m // l)
+    targets = {i * step for i in range(1, l) if i * step < m}
+    splitters: list = []
+    for idx, rec in enumerate(machine.scan(sample)):
+        if idx in targets:
+            splitters.append(rec)
+    return splitters
+
+
+# ---------------------------------------------------------------------- #
+# partitioning: k rounds of M/B splitters
+# ---------------------------------------------------------------------- #
+def _partition(
+    machine: AEMachine,
+    arr: ExtArray,
+    splitters: list,
+    k: int,
+    guard: MemoryGuard,
+) -> list[ExtArray]:
+    """Distribute ``arr`` into ``len(splitters) + 1`` buckets.
+
+    Processes splitters in rounds of ``M/B``; each round scans the whole
+    input and writes only the records of that round's buckets, keeping one
+    partial block per bucket in memory (Theorem 4.5's memory budget
+    ``M + B + M/B``).
+    """
+    params = machine.params
+    n_buckets = len(splitters) + 1
+    per_round = max(1, params.blocks_in_memory)
+    buckets: list[ExtArray] = [None] * n_buckets  # type: ignore[list-item]
+
+    footprint = params.M + params.B + params.blocks_in_memory
+    guard.acquire(footprint)
+
+    for first_bucket in range(0, n_buckets, per_round):
+        last_bucket = min(first_bucket + per_round, n_buckets)  # exclusive
+        # key range covered by this round's buckets:
+        lo = splitters[first_bucket - 1] if first_bucket > 0 else None
+        hi = splitters[last_bucket - 1] if last_bucket - 1 < len(splitters) else None
+        writers = [
+            machine.writer(name=f"bucket{first_bucket + j}")
+            for j in range(last_bucket - first_bucket)
+        ]
+        round_splitters = splitters[first_bucket : last_bucket - 1]
+        for rec in machine.scan(arr):
+            if lo is not None and rec < lo:
+                continue
+            if hi is not None and rec >= hi:
+                continue
+            j = bisect.bisect_right(round_splitters, rec)
+            writers[j].append(rec)
+        for j, w in enumerate(writers):
+            buckets[first_bucket + j] = w.close()
+
+    guard.release(footprint)
+    return [b for b in buckets if b.length > 0]
+
+
+# ---------------------------------------------------------------------- #
+# Theorem 4.5 closed forms (same recursion shape as the mergesort)
+# ---------------------------------------------------------------------- #
+def predicted_reads(n: int, M: int, B: int, k: int) -> int:
+    """Theorem 4.5 read bound (constant = 1 on the leading term)."""
+    from .aem_mergesort import merge_levels
+
+    return k * math.ceil(n / B) * merge_levels(n, M, B, k)
+
+
+def predicted_writes(n: int, M: int, B: int, k: int) -> int:
+    """Theorem 4.5 write bound (constant = 1 on the leading term)."""
+    from .aem_mergesort import merge_levels
+
+    return math.ceil(n / B) * merge_levels(n, M, B, k)

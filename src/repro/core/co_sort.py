@@ -1,0 +1,237 @@
+"""§5.1 / Figure 1: the low-depth cache-oblivious sort with asymmetric costs.
+
+The recursion on an input of size ``n`` (Figure 1, steps (a)-(d)):
+
+(a) split into ``sqrt(n*omega)`` subarrays of size ``sqrt(n/omega)`` and sort
+    each recursively;
+(b) sample every ``log n``-th element of each sorted subarray, sort the
+    ``n/log n`` samples (cache-oblivious mergesort), pick
+    ``sqrt(n/omega) - 1`` evenly spaced splitters;
+(c) count per-(subarray, bucket) segments by merging the splitters with each
+    sorted subarray, prefix-sum the counts, and *bucket transpose* all
+    elements into bucket-contiguous order;
+(d) pick ``omega - 1`` pivots inside every bucket and scan the bucket
+    ``omega`` times, writing one sub-bucket per round back into the input
+    array; recurse on each sub-bucket.
+
+Step (d) is the asymmetric innovation: it spends ``O(omega)`` *reads* per
+element to cut the sub-problem size from ``O(sqrt(n omega) log n)`` (a
+bucket) to ``O(sqrt(n/omega) log n)`` (a sub-bucket), which shortens the
+recursion to ``log_{omega M}(omega n)`` levels while each level still writes
+every element O(1) times — Theorem 5.1:
+
+    reads  = O((omega n / B) log_{omega M}(omega n)),
+    writes = O((n / B) log_{omega M}(omega n)).
+
+Setting ``omega = 1`` makes step (d) a no-op and recovers the original
+symmetric sort of [9] — that is exactly the baseline experiment E8 compares
+against.
+
+Determinism note: the paper samples pivots randomly inside each bucket and
+invokes Chernoff bounds; we take evenly-spaced deterministic samples from
+*sorted* subsequences, which achieves the same balance guarantee without a
+failure probability (documented deviation, DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cacheoblivious.kernels import co_prefix_sum, co_scan_copy
+from ..cacheoblivious.mergesort import co_mergesort
+from ..cacheoblivious.transpose import bucket_transpose, co_transpose
+from ..models.counters import PhaseRecorder
+from ..models.ideal_cache import CacheSim
+
+#: base-case size floor (the analysis' n <= M base; obliviously constant)
+_BASE = 32
+
+
+def co_sort(
+    cache: CacheSim,
+    arr,
+    omega: int | None = None,
+    recorder: PhaseRecorder | None = None,
+) -> None:
+    """Sort ``arr`` (SimArray/view) in place under the asymmetric ideal cache.
+
+    ``omega`` defaults to the cache's own write-cost parameter; pass
+    ``omega=1`` for the classic [9] algorithm.  ``recorder`` attributes the
+    *top level*'s cost to Figure-1 stages (experiment E14).
+    """
+    if omega is None:
+        omega = cache.params.omega
+    if omega < 1:
+        raise ValueError(f"omega must be >= 1, got {omega}")
+    _sort(cache, arr, omega, recorder)
+
+
+def _phase(recorder: PhaseRecorder | None, name: str):
+    if recorder is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return recorder.phase(name)
+
+
+def _sort(cache: CacheSim, arr, omega: int, recorder: PhaseRecorder | None) -> None:
+    n = len(arr)
+    if n <= max(_BASE, 4 * omega):
+        vals = sorted(arr[i] for i in range(n))
+        for i, v in enumerate(vals):
+            arr[i] = v
+        return
+
+    log_n = max(1, math.ceil(math.log2(n)))
+    rows = max(2, round(math.sqrt(n * omega)))  # sqrt(n*omega) subarrays
+    row_size = math.ceil(n / rows)
+    rows = math.ceil(n / row_size)  # ragged last row
+    n_buckets = max(2, round(math.sqrt(n / omega)))
+
+    def row_bounds(i: int) -> tuple[int, int]:
+        start = i * row_size
+        return start, min(start + row_size, n)
+
+    # ---- (a) recursively sort the subarrays --------------------------- #
+    with _phase(recorder, "(a) sort subarrays"):
+        for i in range(rows):
+            start, end = row_bounds(i)
+            _sort(cache, arr.view(start, end - start), omega, None)
+
+    # ---- (b) sample every log n-th element; sort; pick splitters ------- #
+    with _phase(recorder, "(b) sample + splitters"):
+        sample_vals_idx: list[int] = []
+        for i in range(rows):
+            start, end = row_bounds(i)
+            sample_vals_idx.extend(range(start + log_n - 1, end, log_n))
+        if not sample_vals_idx:
+            sample_vals_idx = [0]
+        samples = cache.array(len(sample_vals_idx), name="samples")
+        for j, idx in enumerate(sample_vals_idx):
+            samples[j] = arr[idx]
+        co_mergesort(cache, samples)
+        m = len(samples)
+        step = max(1, m // n_buckets)
+        splitters = []
+        for t in range(1, n_buckets):
+            pos = t * step
+            if pos < m:
+                splitters.append(samples[pos])
+        n_buckets = len(splitters) + 1
+
+    # Degenerate-sample guard: with very few samples the splitter set can
+    # collapse (e.g. a single splitter equal to the minimum key), leaving a
+    # bucket as large as the input and stalling the recursion.  The paper's
+    # w.h.p. analysis assumes n large; below that regime we finish with the
+    # cache-oblivious mergesort (same O() bounds at these sizes).
+    if len(splitters) == 0:
+        co_mergesort(cache, arr)
+        return
+
+    # ---- (c) counts, prefix sums, bucket transpose --------------------- #
+    with _phase(recorder, "(c) counts + transpose"):
+        seg_start = cache.array(rows * n_buckets, name="seg_start")
+        seg_len = cache.array(rows * n_buckets, name="seg_len")
+        for i in range(rows):
+            start, end = row_bounds(i)
+            # merge splitters with the sorted row: one synchronised scan
+            pos = start
+            base = i * n_buckets
+            for b in range(n_buckets):
+                seg_begin = pos
+                if b < len(splitters):
+                    sp = splitters[b]
+                    while pos < end and arr[pos] < sp:
+                        pos += 1
+                else:
+                    pos = end
+                seg_start[base + b] = seg_begin
+                seg_len[base + b] = pos - seg_begin
+
+        # bucket-major destination offsets: transpose counts, prefix-sum,
+        # transpose back (all linear / cache-oblivious)
+        tlen = cache.array(rows * n_buckets, name="tlen")
+        co_transpose(seg_len, tlen, rows, n_buckets)
+        total = co_prefix_sum(tlen)  # exclusive; tlen now holds dst offsets
+        assert total == n, "segment lengths must cover the input"
+        bucket_off = [tlen[b * rows] for b in range(n_buckets)] + [n]
+        dst_start = cache.array(rows * n_buckets, name="dst_start")
+        co_transpose(tlen, dst_start, n_buckets, rows)
+
+        scratch = cache.array(n, name="buckets")
+        bucket_transpose(arr, scratch, seg_start, seg_len, dst_start, rows, n_buckets)
+
+        # second half of the degenerate guard: a bucket as large as the
+        # input means the splitters gave no progress
+        largest_bucket = max(
+            bucket_off[b + 1] - bucket_off[b] for b in range(n_buckets)
+        )
+        if largest_bucket >= n:
+            co_mergesort(cache, arr)
+            return
+
+    # ---- (d) omega-way sub-partition of every bucket; recurse ----------- #
+    with _phase(recorder, "(d) sub-partition"):
+        sub_ranges: list[tuple[int, int]] = []
+        for b in range(n_buckets):
+            lo, hi = bucket_off[b], bucket_off[b + 1]
+            size = hi - lo
+            if size == 0:
+                continue
+            bucket = scratch.view(lo, size)
+            if omega == 1 or size <= max(_BASE, 4 * omega):
+                # classic algorithm: copy back and recurse on the bucket
+                co_scan_copy(bucket, arr.view(lo, size))
+                sub_ranges.append((lo, hi))
+                continue
+            pivots = _choose_pivots(cache, bucket, omega, n)
+            # omega rounds over the bucket, writing one sub-bucket per round
+            out_pos = lo
+            prev = None
+            for t in range(len(pivots) + 1):
+                hi_key = pivots[t] if t < len(pivots) else None
+                sub_lo = out_pos
+                for j in range(size):
+                    v = bucket[j]
+                    if prev is not None and v < prev:
+                        continue
+                    if prev is not None and v == prev:
+                        continue
+                    if (prev is None or v > prev) and (hi_key is None or v <= hi_key):
+                        arr[out_pos] = v
+                        out_pos += 1
+                if out_pos > sub_lo:
+                    sub_ranges.append((sub_lo, out_pos))
+                prev = hi_key
+            assert out_pos == hi, "sub-partition lost records"
+
+    with _phase(recorder, "(d') sort sub-buckets"):
+        for lo, hi in sub_ranges:
+            _sort(cache, arr.view(lo, hi - lo), omega, None)
+
+
+def _choose_pivots(cache: CacheSim, bucket, omega: int, n: int) -> list:
+    """Evenly-spaced pivots producing ``omega`` sub-buckets.
+
+    The paper samples ``max(omega, sqrt(omega n)/log n)`` keys; we sample the
+    same count at even offsets, sort them, and take ``omega - 1`` evenly
+    spaced pivots.
+    """
+    size = len(bucket)
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+    want = min(size, max(omega, math.ceil(math.sqrt(omega * n) / log_n)))
+    stride = max(1, size // want)
+    sample = cache.array(len(range(0, size, stride)), name="pivot-sample")
+    for j, idx in enumerate(range(0, size, stride)):
+        sample[j] = bucket[idx]
+    co_mergesort(cache, sample)
+    m = len(sample)
+    step = max(1, m // omega)
+    pivots = []
+    for t in range(1, omega):
+        pos = t * step
+        if pos < m:
+            v = sample[pos]
+            if not pivots or v > pivots[-1]:
+                pivots.append(v)
+    return pivots

@@ -1,0 +1,75 @@
+"""Small external-memory utilities shared by the §4 algorithms.
+
+The main export is :func:`em_two_way_mergesort`, the plain 2-way external
+mergesort the paper invokes for *sample* sorting inside the AEM sample sort
+("apply a RAM mergesort, which requires at most
+O(((l log n0)/B) log(l log n0 / M)) reads and writes").  It is deliberately
+the textbook algorithm: run formation by in-memory sorting of M-record
+chunks, then repeated pairwise streaming merges.
+"""
+
+from __future__ import annotations
+
+from ..models.external_memory import AEMachine, ExtArray
+
+
+def em_two_way_mergesort(machine: AEMachine, arr: ExtArray) -> ExtArray:
+    """Two-way external mergesort: O((n/B)(1 + log2(n/M))) reads and writes."""
+    params = machine.params
+    n = arr.length
+    if n == 0:
+        return machine.writer(name="em2sort-out").close()
+
+    # --- run formation: sort M-record chunks in memory ------------------ #
+    runs: list[ExtArray] = []
+    buf: list = []
+    writer = None
+    for rec in machine.scan(arr):
+        buf.append(rec)
+        if len(buf) == params.M:
+            writer = machine.writer(name="run")
+            writer.extend(sorted(buf))
+            runs.append(writer.close())
+            buf = []
+    if buf:
+        writer = machine.writer(name="run")
+        writer.extend(sorted(buf))
+        runs.append(writer.close())
+
+    # --- pairwise merge passes ------------------------------------------ #
+    while len(runs) > 1:
+        next_runs: list[ExtArray] = []
+        for i in range(0, len(runs), 2):
+            if i + 1 == len(runs):
+                next_runs.append(runs[i])
+                continue
+            next_runs.append(_merge_two(machine, runs[i], runs[i + 1]))
+        runs = next_runs
+    return runs[0]
+
+
+def _merge_two(machine: AEMachine, a: ExtArray, b: ExtArray) -> ExtArray:
+    """Streaming merge of two sorted runs (one block of each in memory)."""
+    out = machine.writer(name="merge2-out")
+    ra, rb = machine.reader(a), machine.reader(b)
+    ita = ra.records()
+    itb = rb.records()
+    va = next(ita, _DONE)
+    vb = next(itb, _DONE)
+    while va is not _DONE and vb is not _DONE:
+        if va <= vb:
+            out.append(va)
+            va = next(ita, _DONE)
+        else:
+            out.append(vb)
+            vb = next(itb, _DONE)
+    while va is not _DONE:
+        out.append(va)
+        va = next(ita, _DONE)
+    while vb is not _DONE:
+        out.append(vb)
+        vb = next(itb, _DONE)
+    return out.close()
+
+
+_DONE = object()

@@ -1,0 +1,272 @@
+"""Algorithm 1: ASYMMETRIC-PRAM SORT — O(n log n) reads, O(n) writes,
+O(omega log n) depth w.h.p. (Theorem 3.2).
+
+Execution model
+---------------
+The algorithm runs sequentially but is *accounted* on the Asymmetric CRCW
+PRAM via :class:`~repro.models.pram.DepthTracker`:
+
+* data-dependent steps (binary searches, random placement, per-bucket RAM
+  sorts) execute for real and charge their **measured** reads/writes, with
+  depth tracked through parallel-region structure (a ``parallel_for``'s depth
+  is its deepest iterate);
+* cited parallel primitives that we do not re-implement at the PRAM gate
+  level — Cole's mergesort [14], parallel prefix sums, parallel radix sort
+  [32] — execute sequentially, charge their real operation counts as *work*,
+  and charge their published depth bound explicitly
+  (:meth:`DepthTracker.charge_depth`).  Each such charge is annotated with
+  the citation at the call site.
+
+Steps (paper numbering):
+
+1. sample each record with probability ``1/log n``; sort the sample.
+2. every ``log n``-th sorted sample element becomes a splitter; allocate a
+   ``c log^2 n``-slot array per bucket (``c = 4`` gives the >= 2x slack the
+   w.h.p. argument of [10] needs).
+3. binary-search every record to its bucket (parallel).
+4. the *placement problem* [32, 33]: each record repeatedly tries a uniform
+   random slot of its bucket array; records are processed in groups of
+   ``log n`` (sequential within a group, parallel across groups) so that
+   w.h.p. no group needs more than ``O(log n)`` tries total.
+5. pack out empty cells with a prefix sum.
+6. (optional; enables the O(omega log n) depth bound) two rounds of
+   Lemma 3.1 sub-partitioning inside every bucket.
+7. RAM-sort (§3 BST sort) every bucket/sub-bucket in parallel.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..models.counters import CostCounter
+from ..models.pram import DepthTracker
+from .ram_sort import bst_sort, mergesort
+
+#: slack factor for bucket arrays (step 2); the w.h.p. argument needs >= 2.
+BUCKET_SLACK = 4
+
+
+@dataclass
+class PramSortResult:
+    """Output and PRAM accounting of one Algorithm-1 run."""
+
+    output: list
+    tracker: DepthTracker
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def reads(self) -> int:
+        return self.tracker.counter.element_reads
+
+    @property
+    def writes(self) -> int:
+        return self.tracker.counter.element_writes
+
+    @property
+    def depth(self) -> float:
+        return self.tracker.depth
+
+
+def pram_sample_sort(
+    data: list,
+    omega: int,
+    seed: int = 0,
+    reduce_depth: bool = True,
+    bucket_slack: int = BUCKET_SLACK,
+) -> PramSortResult:
+    """Sort ``data`` on the Asymmetric CRCW PRAM (Algorithm 1).
+
+    ``reduce_depth=False`` skips step 6, giving the simpler
+    ``O(omega log^2 n)``-depth variant the paper describes before Lemma 3.1.
+    ``bucket_slack`` is the step-2 array slack constant ``c`` (must leave at
+    least 2x headroom for the w.h.p. placement argument; the E17 ablation
+    sweeps it to show the tries/space trade).
+    """
+    n = len(data)
+    if bucket_slack < 2:
+        raise ValueError(f"bucket_slack must be >= 2, got {bucket_slack}")
+    tracker = DepthTracker(omega)
+    if n <= 1:
+        return PramSortResult(list(data), tracker)
+    rng = random.Random(seed)
+    log_n = max(1, math.ceil(math.log2(n)))
+
+    # ---- step 1: sample w.p. 1/log n, sort the sample ------------------ #
+    sample = []
+    for rec in data:
+        if rng.random() < 1.0 / log_n:
+            sample.append(rec)
+    # reading the sampled records out of A
+    tracker.charge_parallel_bulk(len(sample), reads=1)
+    # Cole's parallel mergesort [14]: real counts as work, depth O(omega log n)
+    sample_counter = CostCounter()
+    sorted_sample, _ = mergesort(sample, sample_counter)
+    tracker.charge_work_only(
+        reads=sample_counter.element_reads, writes=sample_counter.element_writes
+    )
+    tracker.charge_depth(omega * log_n)
+
+    # ---- step 2: splitters + bucket arrays ----------------------------- #
+    splitters = [sorted_sample[i] for i in range(log_n, len(sorted_sample), log_n)]
+    n_buckets = len(splitters) + 1
+    slots = max(1, bucket_slack * log_n * log_n)
+    arrays: list[list] = [[None] * slots for _ in range(n_buckets)]
+    # allocation is free; lower-order initialisation charge
+    tracker.charge_depth(1)
+
+    # ---- step 3: binary search each record to its bucket --------------- #
+    bucket_of = [0] * n
+    per_search_reads = max(1, math.ceil(math.log2(len(splitters) + 1)))
+    for i, rec in enumerate(data):
+        bucket_of[i] = bisect.bisect_right(splitters, rec)
+    # n parallel binary searches: log(#splitters) reads + 1 write each
+    tracker.charge_parallel_bulk(n, reads=per_search_reads + 1, writes=1)
+
+    # ---- step 4: random placement [32] ---------------------------------- #
+    # groups of log n records: sequential within, parallel across
+    total_tries = 0
+    max_group_tries = 0
+    group_tries = 0
+    placed = 0
+    for i in range(n):
+        rec = data[i]
+        b = bucket_of[i]
+        arr = arrays[b]
+        tries = 0
+        while True:
+            tries += 1
+            pos = rng.randrange(slots)
+            if arr[pos] is None:
+                arr[pos] = rec
+                break
+            if tries > 64 * slots:  # safety valve; w.h.p. unreachable
+                raise RuntimeError(
+                    "placement failed: bucket array overfull "
+                    f"(bucket {b}, {slots} slots) — increase BUCKET_SLACK"
+                )
+        total_tries += tries
+        group_tries += tries
+        placed += 1
+        if placed % log_n == 0:
+            max_group_tries = max(max_group_tries, group_tries)
+            group_tries = 0
+    max_group_tries = max(max_group_tries, group_tries)
+    # each try: 1 read (probe) ; each record: 1 write (the successful claim)
+    tracker.charge_work_only(reads=total_tries, writes=n)
+    # depth: the deepest group runs its tries sequentially
+    tracker.charge_depth(max_group_tries * (1 + omega))
+
+    # ---- step 5: pack out empty cells (parallel prefix sum) ------------- #
+    buckets: list[list] = []
+    for arr in arrays:
+        buckets.append([rec for rec in arr if rec is not None])
+    tracker.charge_work_only(reads=n_buckets * slots, writes=n)
+    tracker.charge_depth(omega * log_n)  # prefix-sum depth [9, 24]
+
+    # ---- step 6: two rounds of Lemma 3.1 sub-partitioning --------------- #
+    if reduce_depth:
+        for _round in range(2):
+            new_buckets: list[list] = []
+            with tracker.parallel() as frame:
+                for bucket in buckets:
+                    with frame.branch():
+                        new_buckets.extend(_lemma31_partition(bucket, tracker, omega))
+            buckets = new_buckets
+
+    # ---- step 7: RAM-sort each bucket in parallel ------------------------ #
+    output: list = []
+    max_bucket = 0
+    with tracker.parallel() as frame:
+        sorted_buckets = []
+        for bucket in buckets:
+            max_bucket = max(max_bucket, len(bucket))
+            with frame.branch():
+                if len(bucket) <= 1:
+                    sorted_buckets.append(list(bucket))
+                    continue
+                counter = CostCounter()
+                out, _ = bst_sort(bucket, counter, tree="rb")
+                # the branch's sequential cost: its own reads/writes
+                tracker.charge(
+                    reads=counter.element_reads, writes=counter.element_writes
+                )
+                sorted_buckets.append(out)
+    for sb in sorted_buckets:
+        output.extend(sb)
+
+    stats = {
+        "n": n,
+        "sample_size": len(sample),
+        "buckets": len(buckets),
+        "max_final_bucket": max_bucket,
+        "placement_tries": total_tries,
+        "max_group_tries": max_group_tries,
+    }
+    return PramSortResult(output, tracker, stats)
+
+
+def _lemma31_partition(bucket: list, tracker: DepthTracker, omega: int) -> list[list]:
+    """One round of Lemma 3.1: split ``m`` records into ~``m^{1/3}`` ordered
+    buckets, each smaller than ``m^{2/3} log m``.
+
+    Groups of size ``m^{1/3}`` are RAM-sorted in parallel (measured counts,
+    real depth through the parallel frame); every ``log m``-th record of each
+    sorted group is sampled; the sample is sorted (Cole [14], work measured,
+    depth charged); ``m^{1/3} - 1`` evenly spaced splitters partition the
+    records via a parallel radix/counting sort on bucket numbers ([32]: linear
+    work, ``O(omega sqrt(m))`` depth).
+    """
+    m = len(bucket)
+    if m <= 8:
+        return [bucket] if bucket else []
+    log_m = max(1, math.ceil(math.log2(m)))
+    group_size = max(2, round(m ** (1 / 3)))
+
+    # sort groups in parallel (the branch charges give max-group depth)
+    groups = [bucket[i : i + group_size] for i in range(0, m, group_size)]
+    sorted_groups: list[list] = []
+    with tracker.parallel() as frame:
+        for g in groups:
+            with frame.branch():
+                counter = CostCounter()
+                out, _ = bst_sort(g, counter, tree="rb") if len(g) > 1 else (list(g), None)
+                if counter.element_reads:
+                    tracker.charge(
+                        reads=counter.element_reads, writes=counter.element_writes
+                    )
+                sorted_groups.append(out)
+
+    # sample every log m-th record of each sorted group
+    sample: list = []
+    for g in sorted_groups:
+        sample.extend(g[log_m - 1 :: log_m])
+    tracker.charge_parallel_bulk(len(sample), reads=1, writes=1)
+    if not sample:
+        return [bucket]
+
+    # Cole's mergesort on the sample [14]
+    counter = CostCounter()
+    sorted_sample, _ = mergesort(sample, counter)
+    tracker.charge_work_only(reads=counter.element_reads, writes=counter.element_writes)
+    tracker.charge_depth(omega * log_m)
+
+    # m^{1/3} - 1 evenly spaced splitters
+    want = max(1, round(m ** (1 / 3)) - 1)
+    step = max(1, len(sorted_sample) // (want + 1))
+    splitters = sorted_sample[step::step][:want]
+    if not splitters:
+        return [bucket]
+
+    # parallel radix sort on bucket numbers [32]: linear work, O(w sqrt(m)) depth
+    out: list[list] = [[] for _ in range(len(splitters) + 1)]
+    per_search_reads = max(1, math.ceil(math.log2(len(splitters) + 1)))
+    for rec in bucket:
+        out[bisect.bisect_right(splitters, rec)].append(rec)
+    tracker.charge_work_only(
+        reads=m * (per_search_reads + 1), writes=m
+    )
+    tracker.charge_depth(omega * math.sqrt(m))
+    return [b for b in out if b]

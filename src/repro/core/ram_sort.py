@@ -1,0 +1,170 @@
+"""§3 RAM-model sorting: O(n log n) reads, O(n) writes via balanced BSTs.
+
+The paper's observation: *"Sorting can be done by inserting n records into a
+balanced search tree data structure, and then reading them off in order. This
+requires O(n log n) reads and O(n) writes, for total cost O(n(ω + log n))."*
+
+This module provides that sort (over a choice of write-efficient tree) and the
+classic in-place comparison sorts as write-heavy baselines, all instrumented
+on the shared :class:`~repro.models.counters.CostCounter` so experiment E13
+can tabulate reads/writes/cost side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..datastructures.avl import AVLTree
+from ..datastructures.heaps import InstrumentedBinaryHeap
+from ..datastructures.rb_tree import RedBlackTree
+from ..datastructures.treap import Treap
+from ..models.asymmetric_ram import InstrumentedArray
+from ..models.counters import CostCounter
+
+_TREES = {
+    "rb": RedBlackTree,
+    "avl": AVLTree,
+    "avl-naive": lambda counter: AVLTree(counter, naive_heights=True),
+    "treap": Treap,
+}
+
+
+def bst_sort(
+    data: Sequence, counter: CostCounter | None = None, tree: str = "rb"
+) -> tuple[list, CostCounter]:
+    """Sort by insertion into a balanced BST (§3).
+
+    Parameters
+    ----------
+    data:
+        Records with unique keys.
+    tree:
+        ``"rb"`` (red-black, O(1) amortized writes/insert — the paper's
+        choice), ``"treap"`` (O(1) expected), ``"avl"`` (change-only height
+        writes; measured amortized O(1) — see EXPERIMENTS.md E13), or
+        ``"avl-naive"`` (unconditional height writes; Θ(log n) writes per
+        insert — the instructive *wrong* implementation).
+
+    Returns
+    -------
+    (sorted_list, counter):
+        Reading each input record charges one read; emitting each output
+        record charges one write.
+    """
+    if tree not in _TREES:
+        raise ValueError(f"unknown tree {tree!r}; choose from {sorted(_TREES)}")
+    counter = counter if counter is not None else CostCounter()
+    t = _TREES[tree](counter)
+    for rec in data:
+        counter.charge_read()  # fetch the input record
+        t.insert(rec)
+    out: list = []
+    for key in t.keys_in_order():
+        counter.charge_write()  # emit into the output array
+        out.append(key)
+    return out, counter
+
+
+# ---------------------------------------------------------------------- #
+# classic write-heavy baselines (E13)
+# ---------------------------------------------------------------------- #
+def quicksort(
+    data: Sequence, counter: CostCounter | None = None, seed: int = 0
+) -> tuple[list, CostCounter]:
+    """In-place randomized quicksort on an instrumented array.
+
+    Θ(n log n) expected reads *and* writes (every swap writes two slots).
+    """
+    import random
+
+    counter = counter if counter is not None else CostCounter()
+    arr = InstrumentedArray(data, counter)
+    rng = random.Random(seed)
+
+    def part(lo: int, hi: int) -> int:
+        p = rng.randint(lo, hi)
+        arr.swap(p, hi)
+        pivot = arr[hi]
+        i = lo - 1
+        for j in range(lo, hi):
+            if arr[j] < pivot:
+                i += 1
+                arr.swap(i, j)
+        arr.swap(i + 1, hi)
+        return i + 1
+
+    # explicit stack to avoid Python recursion limits on large inputs
+    stack = [(0, len(arr) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo >= hi:
+            continue
+        mid = part(lo, hi)
+        stack.append((lo, mid - 1))
+        stack.append((mid + 1, hi))
+    return arr.peek_list(), counter
+
+
+def mergesort(
+    data: Sequence, counter: CostCounter | None = None
+) -> tuple[list, CostCounter]:
+    """Bottom-up two-way mergesort: Θ(n log n) reads and writes."""
+    counter = counter if counter is not None else CostCounter()
+    n = len(data)
+    src = InstrumentedArray(data, counter)
+    dst = InstrumentedArray.empty(n, counter)
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                a, b = src[i], src[j]
+                if a <= b:
+                    dst[k] = a
+                    i += 1
+                else:
+                    dst[k] = b
+                    j += 1
+                k += 1
+            while i < mid:
+                dst[k] = src[i]
+                i += 1
+                k += 1
+            while j < hi:
+                dst[k] = src[j]
+                j += 1
+                k += 1
+        src, dst = dst, src
+        width *= 2
+    return src.peek_list(), counter
+
+
+def heapsort(
+    data: Sequence, counter: CostCounter | None = None
+) -> tuple[list, CostCounter]:
+    """Heapsort through an instrumented binary heap: Θ(n log n) writes."""
+    counter = counter if counter is not None else CostCounter()
+    heap = InstrumentedBinaryHeap(counter)
+    for rec in data:
+        counter.charge_read()
+        heap.push(rec)
+    out = []
+    for _ in range(len(data)):
+        rec = heap.pop_min()
+        counter.charge_write()
+        out.append(rec)
+    return out, counter
+
+
+#: Registry used by experiment E13 and the examples.
+RAM_SORTS = {
+    "bst-rb": lambda d, c=None: bst_sort(d, c, tree="rb"),
+    "bst-treap": lambda d, c=None: bst_sort(d, c, tree="treap"),
+    "bst-avl": lambda d, c=None: bst_sort(d, c, tree="avl"),
+    "bst-avl-naive": lambda d, c=None: bst_sort(d, c, tree="avl-naive"),
+    "quicksort": quicksort,
+    "mergesort": mergesort,
+    "heapsort": heapsort,
+}

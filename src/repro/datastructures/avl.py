@@ -1,0 +1,180 @@
+"""Instrumented AVL tree — the *contrast* balanced BST for §3.
+
+A naive AVL implementation recomputes and stores per-node heights along the
+entire search path, performing ``Θ(log n)`` writes per insert even when no
+rotation happens — the textbook example of a structure that ignores write
+cost.  ``AVLTree(naive_heights=True)`` reproduces that behaviour.
+
+The default (``naive_heights=False``) writes a height field only when its
+value actually changes.  A measured finding of this reproduction (see
+EXPERIMENTS.md, E13): under that discipline AVL height updates are amortized
+``O(1)`` per random insert, so even the AVL tree becomes write-efficient —
+reinforcing the paper's §3 point that careful engineering of *which fields
+get written* is what drives RAM-model write cost.
+
+Charging convention: see :mod:`repro.datastructures`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..models.counters import CostCounter
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.height = 1
+
+
+class AVLTree:
+    """Recursive AVL tree with read/write instrumentation.
+
+    Parameters
+    ----------
+    naive_heights:
+        If true, charge a height write for *every* node on the search path
+        (the textbook implementation that stores ``h = 1 + max(...)``
+        unconditionally) — Θ(log n) writes per insert.  If false (default),
+        charge only when the stored height changes — measured amortized O(1)
+        per random insert.
+    """
+
+    def __init__(self, counter: CostCounter | None = None, naive_heights: bool = False):
+        self.counter = counter if counter is not None else CostCounter()
+        self.root: _Node | None = None
+        self.size = 0
+        self.rotations = 0
+        self.naive_heights = naive_heights
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _h(node: _Node | None) -> int:
+        return node.height if node is not None else 0
+
+    def _update_height(self, node: _Node) -> None:
+        new_h = 1 + max(self._h(node.left), self._h(node.right))
+        if new_h != node.height:
+            node.height = new_h
+            self.counter.charge_write()  # the height-maintenance write
+        elif self.naive_heights:
+            self.counter.charge_write()  # unconditional store of the height
+
+    def _balance_factor(self, node: _Node) -> int:
+        return self._h(node.left) - self._h(node.right)
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key, value=None) -> None:
+        """Insert ``key``: O(log n) reads and O(log n) writes (heights)."""
+        self.root = self._insert(self.root, key, value)
+        self.size += 1
+
+    def _insert(self, node: _Node | None, key, value) -> _Node:
+        if node is None:
+            self.counter.charge_write()  # materialise the new node
+            return _Node(key, value)
+        self.counter.charge_read()  # examine node on the way down
+        if key == node.key:
+            raise ValueError(f"duplicate key {key!r} (keys must be unique, §2)")
+        if key < node.key:
+            child = self._insert(node.left, key, value)
+            if child is not node.left:
+                node.left = child
+                self.counter.charge_write()
+        else:
+            child = self._insert(node.right, key, value)
+            if child is not node.right:
+                node.right = child
+                self.counter.charge_write()
+        self._update_height(node)
+        return self._rebalance(node)
+
+    def _rebalance(self, node: _Node) -> _Node:
+        bf = self._balance_factor(node)
+        if bf > 1:
+            assert node.left is not None
+            if self._balance_factor(node.left) < 0:
+                node.left = self._rotate_left(node.left)
+                self.counter.charge_write()
+            return self._rotate_right(node)
+        if bf < -1:
+            assert node.right is not None
+            if self._balance_factor(node.right) > 0:
+                node.right = self._rotate_right(node.right)
+                self.counter.charge_write()
+            return self._rotate_left(node)
+        return node
+
+    def _rotate_left(self, x: _Node) -> _Node:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        y.left = x
+        self.counter.charge_write(2)  # two pointer mutations
+        self._update_height(x)
+        self._update_height(y)
+        self.rotations += 1
+        return y
+
+    def _rotate_right(self, x: _Node) -> _Node:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        y.right = x
+        self.counter.charge_write(2)
+        self._update_height(x)
+        self._update_height(y)
+        self.rotations += 1
+        return y
+
+    # ------------------------------------------------------------------ #
+    def search(self, key):
+        """Return value for ``key`` or ``None``; O(log n) reads."""
+        node = self.root
+        while node is not None:
+            self.counter.charge_read()
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def keys_in_order(self) -> Iterator:
+        """Sorted key stream; one read per node visited."""
+        stack: list[_Node] = []
+        node = self.root
+        while stack or node is not None:
+            while node is not None:
+                self.counter.charge_read()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Verify BST order and AVL balance (uncharged; tests only)."""
+        def walk(node: _Node | None, lo, hi) -> int:
+            if node is None:
+                return 0
+            if (lo is not None and node.key <= lo) or (hi is not None and node.key >= hi):
+                raise AssertionError("BST order violated")
+            lh = walk(node.left, lo, node.key)
+            rh = walk(node.right, node.key, hi)
+            if abs(lh - rh) > 1:
+                raise AssertionError("AVL balance violated")
+            h = 1 + max(lh, rh)
+            if h != node.height:
+                raise AssertionError("stale height")
+            return h
+
+        walk(self.root, None, None)
+
+    def __len__(self) -> int:
+        return self.size

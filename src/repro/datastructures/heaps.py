@@ -1,0 +1,96 @@
+"""Instrumented binary heap — the Θ(n log n)-write classic baseline.
+
+Heapsort sift operations move records ``Θ(log n)`` levels, writing at every
+level, so heapsort performs ``Θ(n log n)`` element writes: the canonical
+write-*inefficient* comparison sort the §3 experiments compare against.
+
+The heap also doubles as an instrumented priority queue (``push`` /
+``pop_min``) for RAM-model experiments.  (Inside AEM algorithms, primary-
+memory work is free, so those use plain :mod:`heapq` instead.)
+"""
+
+from __future__ import annotations
+
+from ..models.counters import CostCounter
+
+
+class InstrumentedBinaryHeap:
+    """Array-backed binary min-heap charging element reads/writes.
+
+    Every slot read charges one element read; every slot write charges one
+    element write (the RAM-model cost of the classic structure).
+    """
+
+    def __init__(self, counter: CostCounter | None = None):
+        self.counter = counter if counter is not None else CostCounter()
+        self._a: list = []
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    # ------------------------------------------------------------------ #
+    def _get(self, i: int):
+        self.counter.charge_read()
+        return self._a[i]
+
+    def _set(self, i: int, v) -> None:
+        self.counter.charge_write()
+        self._a[i] = v
+
+    # ------------------------------------------------------------------ #
+    def push(self, item) -> None:
+        """Insert: O(log n) reads and O(log n) writes (sift-up)."""
+        self._a.append(None)
+        self._sift_up(len(self._a) - 1, item)
+
+    def _sift_up(self, pos: int, item) -> None:
+        while pos > 0:
+            parent_pos = (pos - 1) // 2
+            parent = self._get(parent_pos)
+            if parent <= item:
+                break
+            self._set(pos, parent)
+            pos = parent_pos
+        self._set(pos, item)
+
+    def pop_min(self):
+        """Remove and return the minimum: O(log n) reads and writes."""
+        if not self._a:
+            raise IndexError("pop from empty heap")
+        top = self._get(0)
+        last = self._a.pop()
+        self.counter.charge_read()
+        if self._a:
+            self._sift_down(0, last)
+        return top
+
+    def _sift_down(self, pos: int, item) -> None:
+        n = len(self._a)
+        while True:
+            child = 2 * pos + 1
+            if child >= n:
+                break
+            right = child + 1
+            child_val = self._get(child)
+            if right < n:
+                right_val = self._get(right)
+                if right_val < child_val:
+                    child, child_val = right, right_val
+            if child_val >= item:
+                break
+            self._set(pos, child_val)
+            pos = child
+        self._set(pos, item)
+
+    def peek_min(self):
+        """Read the minimum without removing it (1 read)."""
+        if not self._a:
+            raise IndexError("peek on empty heap")
+        return self._get(0)
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Verify the heap property (uncharged; tests only)."""
+        for i in range(1, len(self._a)):
+            if self._a[(i - 1) // 2] > self._a[i]:
+                raise AssertionError(f"heap property violated at index {i}")

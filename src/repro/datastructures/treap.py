@@ -1,0 +1,126 @@
+"""Instrumented treap — randomized balanced BST with O(1) expected rotations.
+
+A treap insert performs an expected **constant** number of rotations (the
+inserted node rises past expectedly O(1) ancestors with larger priority), so
+like the red-black tree it yields an ``O(n)``-expected-write RAM sort.  It
+serves as the randomized counterpart in the §3 experiments.
+
+Charging convention: see :mod:`repro.datastructures`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from ..models.counters import CostCounter
+
+
+class _Node:
+    __slots__ = ("key", "value", "priority", "left", "right")
+
+    def __init__(self, key, value, priority: float):
+        self.key = key
+        self.value = value
+        self.priority = priority
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+class Treap:
+    """Randomized BST with heap-ordered priorities, instrumented."""
+
+    def __init__(self, counter: CostCounter | None = None, seed: int = 0):
+        self.counter = counter if counter is not None else CostCounter()
+        self.root: _Node | None = None
+        self.size = 0
+        self.rotations = 0
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key, value=None) -> None:
+        """Insert: O(log n) expected reads, O(1) expected rotation writes."""
+        self.root = self._insert(self.root, key, value, self._rng.random())
+        self.size += 1
+
+    def _insert(self, node: _Node | None, key, value, priority: float) -> _Node:
+        if node is None:
+            self.counter.charge_write()
+            return _Node(key, value, priority)
+        self.counter.charge_read()
+        if key == node.key:
+            raise ValueError(f"duplicate key {key!r} (keys must be unique, §2)")
+        if key < node.key:
+            child = self._insert(node.left, key, value, priority)
+            if child is not node.left:
+                node.left = child
+                self.counter.charge_write()
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+        else:
+            child = self._insert(node.right, key, value, priority)
+            if child is not node.right:
+                node.right = child
+                self.counter.charge_write()
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+        return node
+
+    def _rotate_right(self, x: _Node) -> _Node:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        y.right = x
+        self.counter.charge_write(2)
+        self.rotations += 1
+        return y
+
+    def _rotate_left(self, x: _Node) -> _Node:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        y.left = x
+        self.counter.charge_write(2)
+        self.rotations += 1
+        return y
+
+    # ------------------------------------------------------------------ #
+    def search(self, key):
+        node = self.root
+        while node is not None:
+            self.counter.charge_read()
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def keys_in_order(self) -> Iterator:
+        stack: list[_Node] = []
+        node = self.root
+        while stack or node is not None:
+            while node is not None:
+                self.counter.charge_read()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Verify BST order + heap order on priorities (uncharged)."""
+        def walk(node: _Node | None, lo, hi) -> None:
+            if node is None:
+                return
+            if (lo is not None and node.key <= lo) or (hi is not None and node.key >= hi):
+                raise AssertionError("BST order violated")
+            for child in (node.left, node.right):
+                if child is not None and child.priority > node.priority:
+                    raise AssertionError("heap order violated")
+            walk(node.left, lo, node.key)
+            walk(node.right, node.key, hi)
+
+        walk(self.root, None, None)
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,205 @@
+"""§3's corollary structures: dictionaries and priority queues with O(1)
+amortized writes per operation.
+
+*"Similarly, we can maintain priority queues (insert and delete-min) and
+comparison-based dictionaries (insert, delete and search) in O(1) writes per
+operation."* (§3)
+
+Both structures wrap the red-black tree and make deletions *logical* (one
+field write, or none at all) with periodic compaction once half the
+structure is dead — the same trade the paper highlights in its database
+citation [12] (don't repack eagerly; spend reads to save writes).  The
+amortized write bounds are measured per operation mix in
+``tests/test_write_efficient.py``.
+"""
+
+from __future__ import annotations
+
+from ..models.counters import CostCounter
+from .rb_tree import RedBlackTree
+
+_TOMBSTONE = object()
+
+
+def _rebuild_balanced(keys_values, counter: CostCounter) -> RedBlackTree:
+    """Median-first bulk build: balanced with near-zero rotations."""
+    fresh = RedBlackTree(counter)
+
+    def build(lo: int, hi: int) -> None:
+        if lo >= hi:
+            return
+        mid = (lo + hi) // 2
+        key, value = keys_values[mid]
+        fresh.insert(key, value)
+        build(lo, mid)
+        build(mid + 1, hi)
+
+    build(0, len(keys_values))
+    return fresh
+
+
+class WriteEfficientDict:
+    """Comparison-based dictionary: O(log n) reads, O(1) amortized writes
+    per insert; searches write nothing; deletes tombstone (one write) and
+    compact at 50% dead (amortized O(1) writes per delete)."""
+
+    def __init__(self, counter: CostCounter | None = None):
+        self.counter = counter if counter is not None else CostCounter()
+        self._tree = RedBlackTree(self.counter)
+        self._live = 0
+        self._dead = 0
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def insert(self, key, value) -> None:
+        """Insert a new key (keys are unique, §2)."""
+        self._tree.insert(key, value)
+        self._live += 1
+
+    def search(self, key):
+        """Return the value for ``key``, or ``None``; zero writes."""
+        value = self._tree.search(key)
+        return None if value is _TOMBSTONE else value
+
+    def __contains__(self, key) -> bool:
+        return self.search(key) is not None
+
+    def delete(self, key) -> None:
+        """Tombstone ``key`` (one write); compact once half the tree is dead."""
+        node = self._tree.root
+        while node is not None:
+            self.counter.charge_read()
+            if key == node.key:
+                if node.value is _TOMBSTONE:
+                    raise KeyError(key)
+                node.value = _TOMBSTONE
+                self.counter.charge_write()
+                self._live -= 1
+                self._dead += 1
+                if self._dead > max(8, self._live):
+                    self._compact()
+                return
+            node = node.left if key < node.key else node.right
+        raise KeyError(key)
+
+    def _compact(self) -> None:
+        items = []
+        stack = []
+        node = self._tree.root
+        while stack or node is not None:
+            while node is not None:
+                self.counter.charge_read()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            if node.value is not _TOMBSTONE:
+                items.append((node.key, node.value))
+            node = node.right
+        self._tree = _rebuild_balanced(items, self.counter)
+        self._dead = 0
+        self.compactions += 1
+
+    def items_in_order(self):
+        """Yield live ``(key, value)`` pairs in key order."""
+        stack = []
+        node = self._tree.root
+        while stack or node is not None:
+            while node is not None:
+                self.counter.charge_read()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            if node.value is not _TOMBSTONE:
+                yield node.key, node.value
+            node = node.right
+
+
+class WriteEfficientPQ:
+    """Priority queue: O(1) amortized *writes* per INSERT / DELETE-MIN.
+
+    DELETE-MIN is logical: the minimum live node is located by an in-order
+    walk that skips dead nodes (zero structural writes) and marked dead in
+    an in-memory identity set; the tree is rebuilt once half its nodes are
+    dead.  Reads stay O(log n) amortized for the monotone access patterns of
+    sorting/scheduling (arbitrary interleavings can pay extra reads skipping
+    dead prefixes — never extra writes).  Contrast: a binary heap writes
+    Θ(log n) slots per operation (E13).
+    """
+
+    def __init__(self, counter: CostCounter | None = None):
+        self.counter = counter if counter is not None else CostCounter()
+        self._tree = RedBlackTree(self.counter)
+        self._dead: set[int] = set()  # ids of logically deleted nodes
+        self._spine: list = []  # in-order iterator stack over live prefix
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._tree) - len(self._dead)
+
+    def insert(self, key) -> None:
+        # compaction happens on insert, not during delete sweeps: a pure
+        # delete-min drain advances monotonically past dead nodes and never
+        # revisits them, so rebuilding there would only add writes.
+        if len(self._dead) > max(8, len(self)):
+            self._rebuild()
+        self._tree.insert(key)
+        # rebalancing rotations can restructure arbitrarily: drop the cached
+        # iterator spine (re-descending costs O(log n) reads, zero writes)
+        self._spine = []
+
+    def peek_min(self):
+        """Read the minimum without removing it."""
+        node = self._next_live(consume=False)
+        return node.key
+
+    def delete_min(self):
+        """Remove and return the smallest live key (no structural writes)."""
+        node = self._next_live(consume=True)
+        self._dead.add(id(node))
+        return node.key
+
+    # ------------------------------------------------------------------ #
+    def _descend_left(self, node) -> None:
+        while node is not None:
+            self.counter.charge_read()
+            self._spine.append(node)
+            node = node.left
+
+    def _next_live(self, *, consume: bool):
+        if len(self) == 0:
+            raise IndexError("empty priority queue")
+        if not self._spine:
+            self._descend_left(self._tree.root)
+        while True:
+            if not self._spine:
+                raise AssertionError("live count positive but iterator dry")
+            node = self._spine[-1]
+            if id(node) in self._dead:
+                self._spine.pop()
+                self._descend_left(node.right)
+                continue
+            if consume:
+                self._spine.pop()
+                self._descend_left(node.right)
+            return node
+
+    def _rebuild(self) -> None:
+        """Drop dead nodes: O(n) reads/writes, amortized O(1) per op."""
+        live = []
+        stack = []
+        node = self._tree.root
+        while stack or node is not None:
+            while node is not None:
+                self.counter.charge_read()
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            if id(node) not in self._dead:
+                live.append((node.key, None))
+            node = node.right
+        self._tree = _rebuild_balanced(live, self.counter)
+        self._dead = set()
+        self._spine = []
+        self.rebuilds += 1

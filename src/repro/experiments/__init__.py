@@ -1,0 +1,48 @@
+"""Experiment runners: one module per paper claim (see DESIGN.md §3).
+
+Every module exposes ``run(quick: bool = False) -> list[dict]`` returning
+table rows, plus a ``main()`` that prints the table.  Benchmarks wrap the
+``quick=True`` variants; EXPERIMENTS.md records the full runs.
+"""
+
+from . import (
+    e01_pram_sort,
+    e02_aem_mergesort,
+    e03_selection_base,
+    e04_aem_samplesort,
+    e05_buffer_tree,
+    e06_three_sorts,
+    e07_rwlru,
+    e08_co_sort,
+    e09_fft,
+    e10_em_matmul,
+    e11_co_matmul,
+    e12_schedulers,
+    e13_ram_sort,
+    e14_co_sort_stages,
+    e15_parallel_samplesort,
+    e16_lower_bound,
+    e17_ablations,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e01_pram_sort,
+    "E2": e02_aem_mergesort,
+    "E3": e03_selection_base,
+    "E4": e04_aem_samplesort,
+    "E5": e05_buffer_tree,
+    "E6": e06_three_sorts,
+    "E7": e07_rwlru,
+    "E8": e08_co_sort,
+    "E9": e09_fft,
+    "E10": e10_em_matmul,
+    "E11": e11_co_matmul,
+    "E12": e12_schedulers,
+    "E13": e13_ram_sort,
+    "E14": e14_co_sort_stages,
+    "E15": e15_parallel_samplesort,
+    "E16": e16_lower_bound,
+    "E17": e17_ablations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,75 @@
+"""E6 — §4 headline: all three AEM sorts share the same asymptotics, trading
+~``omega`` reads per write saved.
+
+For each omega, each algorithm runs with the Appendix-A ``k`` against its
+classic ``k = 1`` self.  Expected shape:
+
+* writes shrink as ``k`` grows (fewer recursion levels): the asymmetric
+  variants write *less* than their classic selves;
+* reads grow by roughly the ``k`` multiplier;
+* total asymmetric cost ``R + omega W`` improves, increasingly with omega;
+* the three algorithms agree within constant factors (buffer tree largest,
+  as §4.3 warns).
+"""
+
+from __future__ import annotations
+
+from ..analysis.ktuning import choose_k
+from ..analysis.tables import format_table
+from ..core.aem_heapsort import aem_heapsort
+from ..core.aem_mergesort import aem_mergesort
+from ..core.aem_samplesort import aem_samplesort
+from ..models.external_memory import AEMachine
+from ..models.params import MachineParams
+from ..workloads import random_permutation
+
+TITLE = "E6  All three AEM sorts: asymmetric (k*) vs classic (k=1), per omega"
+
+_ALGOS = {
+    "mergesort": lambda m, a, k: aem_mergesort(m, a, k=k),
+    "samplesort": lambda m, a, k: aem_samplesort(m, a, k=k, seed=23),
+    "heapsort": lambda m, a, k: aem_heapsort(m, a, k=k),
+}
+
+
+def run(quick: bool = False) -> list[dict]:
+    n = 3000 if quick else 12000
+    omegas = [8] if quick else [2, 4, 8, 16]
+    data = random_permutation(n, seed=29)
+    expected = sorted(data)
+    rows = []
+    for omega in omegas:
+        params = MachineParams(M=64, B=8, omega=omega)
+        k_star = max(1, choose_k(params, n))
+        for name, fn in _ALGOS.items():
+            counts = {}
+            for label, k in (("classic", 1), ("asym", k_star)):
+                machine = AEMachine(params)
+                arr = machine.from_list(data)
+                out = fn(machine, arr, k)
+                assert out.peek_list() == expected, f"{name} k={k} wrong"
+                counts[label] = machine.counter.snapshot()
+            cl, asym = counts["classic"], counts["asym"]
+            rows.append(
+                {
+                    "omega": omega,
+                    "algorithm": name,
+                    "k*": k_star,
+                    "classic_W": cl.block_writes,
+                    "asym_W": asym.block_writes,
+                    "classic_R": cl.block_reads,
+                    "asym_R": asym.block_reads,
+                    "classic_cost": cl.block_cost(omega),
+                    "asym_cost": asym.block_cost(omega),
+                    "improvement": cl.block_cost(omega) / asym.block_cost(omega),
+                }
+            )
+    return rows
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run(), title=TITLE))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,54 @@
+"""E13 — §3: RAM-model sorting with O(n) writes.
+
+Claim: inserting into a balanced BST (with O(1) amortized rebalancing
+writes) sorts with ``O(n log n)`` reads and ``O(n)`` writes, total asymmetric
+cost ``O(n (omega + log n))``; classic in-place sorts pay ``Theta(n log n)``
+writes.
+
+Evidence of shape: ``writes/n`` stays flat for the red-black tree and treap
+while it grows like ``log n`` for quicksort/mergesort/heapsort (and for the
+AVL tree, whose height-maintenance writes make it the instructive wrong
+choice).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import format_table
+from ..core.ram_sort import RAM_SORTS
+from ..workloads import random_permutation
+
+TITLE = "E13 Section 3 - RAM sorts: writes/n flat (BST) vs growing (classics)"
+
+
+def run(quick: bool = False) -> list[dict]:
+    sizes = [1000, 4000] if quick else [1000, 4000, 16000, 64000]
+    omega = 8
+    rows = []
+    for n in sizes:
+        data = random_permutation(n, seed=n)
+        expected = sorted(data)
+        for name, fn in RAM_SORTS.items():
+            out, counter = fn(data)
+            assert out == expected, f"{name} wrong"
+            rows.append(
+                {
+                    "n": n,
+                    "algorithm": name,
+                    "reads": counter.element_reads,
+                    "reads/(n log n)": counter.element_reads / (n * math.log2(n)),
+                    "writes": counter.element_writes,
+                    "writes/n": counter.element_writes / n,
+                    "cost(w=8)": counter.element_cost(omega),
+                }
+            )
+    return rows
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run(), title=TITLE))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

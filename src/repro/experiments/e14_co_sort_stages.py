@@ -1,0 +1,73 @@
+"""E14 — Figure 1 anatomy: stage-level cost budget of the CO sort.
+
+Reproduces Figure 1 as a *measured* table: one top-level invocation of the
+§5.1 sort with a :class:`~repro.models.counters.PhaseRecorder`, attributing
+block reads/writes to stages (a) recursive subarray sorts, (b) sampling and
+splitter selection, (c) counts + bucket transpose, (d) the omega-round
+sub-partition, and (d') the recursive sub-bucket sorts.
+
+Expected shape: stage (d) carries the deliberate ~omega-fold read
+amplification while every stage writes O(n/B); stages (a)/(d') carry the
+recursion's remaining cost.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.co_sort import co_sort
+from ..models.counters import PhaseRecorder
+from ..models.ideal_cache import CacheSim
+from ..models.params import MachineParams
+from ..workloads import random_permutation
+
+TITLE = "E14 Figure 1 anatomy - per-stage reads/writes of the CO sort"
+
+
+def run(quick: bool = False) -> list[dict]:
+    n = 4096 if quick else 16384
+    omega = 8
+    params = MachineParams(M=256, B=16, omega=omega)
+    cache = CacheSim(params, policy="lru")
+    data = random_permutation(n, seed=53)
+    arr = cache.array(data)
+    recorder = PhaseRecorder(cache.counter)
+    co_sort(cache, arr, omega=omega, recorder=recorder)
+    cache.flush()
+    assert arr.peek_list() == sorted(data)
+    total_r = sum(ph.delta.block_reads for ph in recorder.phases) or 1
+    total_w = sum(ph.delta.block_writes for ph in recorder.phases) or 1
+    rows = []
+    for ph in recorder.phases:
+        rows.append(
+            {
+                "stage": ph.name,
+                "reads": ph.delta.block_reads,
+                "reads%": 100.0 * ph.delta.block_reads / total_r,
+                "writes": ph.delta.block_writes,
+                "writes%": 100.0 * ph.delta.block_writes / total_w,
+                "R/W": (
+                    ph.delta.block_reads / ph.delta.block_writes
+                    if ph.delta.block_writes
+                    else float("inf")
+                ),
+            }
+        )
+    rows.append(
+        {
+            "stage": "TOTAL",
+            "reads": total_r,
+            "reads%": 100.0,
+            "writes": total_w,
+            "writes%": 100.0,
+            "R/W": total_r / total_w,
+        }
+    )
+    return rows
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run(), title=TITLE))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

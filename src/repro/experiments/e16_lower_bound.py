@@ -1,0 +1,61 @@
+"""E16 — Equation (1) sanity: measured sorts bracket the Aggarwal–Vitter bound.
+
+The paper's Equation (1): sorting in the (symmetric) EM model takes
+``Theta((n/B) log_{M/B}(n/B))`` transfers, upper *and* lower bound.  As a
+whole-pipeline sanity check, every classic (k = 1) sort's measured total
+transfers must lie within small constant factors of that bound — below it
+would contradict the lower bound (a cost-accounting leak); far above it
+would indicate an implementation inefficiency.
+"""
+
+from __future__ import annotations
+
+from ..analysis.formulas import em_sort_transfers
+from ..analysis.tables import format_table
+from ..core.aem_heapsort import aem_heapsort
+from ..core.aem_mergesort import aem_mergesort
+from ..core.aem_samplesort import aem_samplesort
+from ..models.external_memory import AEMachine
+from ..models.params import MachineParams
+from ..workloads import random_permutation
+
+TITLE = "E16 Equation (1) - classic sorts vs the Aggarwal-Vitter Theta bound"
+
+_ALGOS = {
+    "mergesort": lambda m, a: aem_mergesort(m, a, k=1),
+    "samplesort": lambda m, a: aem_samplesort(m, a, k=1, seed=61),
+    "heapsort": lambda m, a: aem_heapsort(m, a, k=1),
+}
+
+
+def run(quick: bool = False) -> list[dict]:
+    params = MachineParams(M=64, B=8, omega=1)  # symmetric: Equation (1)'s model
+    sizes = [4000] if quick else [4000, 16000, 64000]
+    rows = []
+    for n in sizes:
+        data = random_permutation(n, seed=n)
+        bound = em_sort_transfers(n, params.M, params.B)
+        for name, fn in _ALGOS.items():
+            machine = AEMachine(params)
+            out = fn(machine, machine.from_list(data))
+            assert out.peek_list() == sorted(data)
+            total = machine.counter.total_io()
+            rows.append(
+                {
+                    "n": n,
+                    "algorithm": name,
+                    "transfers": total,
+                    "AV bound": bound,
+                    "ratio": total / bound,
+                    "sane": 0.3 < total / bound < 12.0,
+                }
+            )
+    return rows
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run(), title=TITLE))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

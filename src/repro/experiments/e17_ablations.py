@@ -1,0 +1,116 @@
+"""E17 — Ablations of the reproduction's design choices (DESIGN.md §§1, 4).
+
+Three knobs, each isolating one decision:
+
+* ``round_threshold`` — Algorithm 2's erratum fix.  Disabling it runs the
+  paper-literal pseudocode; on the crafted four-run input from the test
+  suite it *strands records* (detected and raised), while the fixed
+  algorithm sorts the same input.
+* ``sample_factor`` — the sample sort's over-sampling constant
+  ``Theta(l log n)``.  Lower factors save sampling I/O but skew bucket
+  sizes (threatening the w.h.p. balance that Theorem 4.5 assumes).
+* ``bucket_slack`` — Algorithm 1's step-2 array slack ``c``.  Smaller slack
+  raises placement collision tries (step 4's expected-O(1) argument needs
+  >= 2x headroom); larger slack wastes step-5 packing reads.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.aem_mergesort import StrandingDetected, _merge
+from ..core.aem_samplesort import aem_samplesort
+from ..core.pram_sample_sort import pram_sample_sort
+from ..models.external_memory import AEMachine, MemoryGuard
+from ..models.params import MachineParams
+from ..workloads import random_permutation
+
+TITLE = "E17 Ablations - erratum fix / over-sampling / placement slack"
+
+#: the stranding witness from tests/test_aem_mergesort.py
+_STRAND_RUNS = [
+    [1, 2, 3, 4, 45, 60, 61, 62],
+    [5, 6, 7, 8],
+    [9, 11, 12, 40],
+    [10, 50, 51, 52],
+]
+
+
+def run(quick: bool = False) -> list[dict]:
+    rows = []
+    rows.extend(_ablate_round_threshold())
+    rows.extend(_ablate_sample_factor(quick))
+    rows.extend(_ablate_bucket_slack(quick))
+    return rows
+
+
+def _ablate_round_threshold() -> list[dict]:
+    out = []
+    for fixed in (True, False):
+        machine = AEMachine(MachineParams(M=8, B=4, omega=4))
+        runs = [machine.from_list(r) for r in _STRAND_RUNS]
+        try:
+            merged = _merge(machine, runs, MemoryGuard(), round_threshold=fixed)
+            ok = merged.peek_list() == sorted(x for r in _STRAND_RUNS for x in r)
+            outcome = "sorted" if ok else "WRONG OUTPUT"
+        except StrandingDetected:
+            outcome = "records stranded (detected)"
+        out.append(
+            {
+                "ablation": "round_threshold",
+                "setting": "fixed" if fixed else "paper-literal",
+                "outcome": outcome,
+                "metric": "",
+                "value": "",
+            }
+        )
+    return out
+
+
+def _ablate_sample_factor(quick: bool) -> list[dict]:
+    n = 4000 if quick else 16000
+    params = MachineParams(M=64, B=8, omega=8)
+    data = random_permutation(n, seed=71)
+    out = []
+    for sf in (1, 4, 16):
+        machine = AEMachine(params)
+        result = aem_samplesort(
+            machine, machine.from_list(data), k=2, seed=71, sample_factor=sf
+        )
+        assert result.peek_list() == sorted(data)
+        out.append(
+            {
+                "ablation": "sample_factor",
+                "setting": f"c={sf}",
+                "outcome": "sorted",
+                "metric": "block writes",
+                "value": machine.counter.block_writes,
+            }
+        )
+    return out
+
+
+def _ablate_bucket_slack(quick: bool) -> list[dict]:
+    n = 4000 if quick else 16000
+    data = random_permutation(n, seed=73)
+    out = []
+    for slack in (2, 4, 8):
+        res = pram_sample_sort(data, omega=8, seed=73, bucket_slack=slack)
+        assert res.output == sorted(data)
+        out.append(
+            {
+                "ablation": "bucket_slack",
+                "setting": f"c={slack}",
+                "outcome": "sorted",
+                "metric": "tries/record",
+                "value": round(res.stats["placement_tries"] / n, 3),
+            }
+        )
+    return out
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run(), title=TITLE))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

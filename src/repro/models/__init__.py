@@ -1,0 +1,48 @@
+"""Asymmetric-cost machine models (§2 of the paper).
+
+Four executable models, all charging a shared
+:class:`~repro.models.counters.CostCounter`:
+
+* :mod:`~repro.models.asymmetric_ram` — word-granularity RAM.
+* :mod:`~repro.models.pram` — work/depth PRAM accounting.
+* :mod:`~repro.models.external_memory` — the AEM machine with explicit block
+  transfers.
+* :mod:`~repro.models.ideal_cache` — the asymmetric cache simulator
+  (LRU / read-write LRU / offline Belady) behind cache-oblivious algorithms.
+"""
+
+from .asymmetric_ram import InstrumentedArray
+from .counters import CostCounter, PhaseRecorder
+from .external_memory import (
+    AEMachine,
+    BlockReader,
+    BlockWriter,
+    ExtArray,
+    MemoryBudgetExceeded,
+    MemoryGuard,
+)
+from .ideal_cache import CacheSim, SimArray, SimView, simulate_trace
+from .params import MEDIUM, SMALL, TINY, MachineParams, parameter_grid
+from .pram import DepthTracker
+
+__all__ = [
+    "AEMachine",
+    "BlockReader",
+    "BlockWriter",
+    "CacheSim",
+    "CostCounter",
+    "DepthTracker",
+    "ExtArray",
+    "InstrumentedArray",
+    "MachineParams",
+    "MemoryBudgetExceeded",
+    "MemoryGuard",
+    "PhaseRecorder",
+    "SimArray",
+    "SimView",
+    "MEDIUM",
+    "SMALL",
+    "TINY",
+    "parameter_grid",
+    "simulate_trace",
+]

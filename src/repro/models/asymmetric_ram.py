@@ -1,0 +1,97 @@
+"""The Asymmetric RAM model: word-granularity read/write counting.
+
+§2 of the paper: *"This is the standard RAM model but with a cost ω > 1 for
+writes, while reads are still unit cost."*
+
+:class:`InstrumentedArray` wraps a Python list so every ``a[i]`` charges one
+element read and every ``a[i] = v`` charges one element write to a shared
+:class:`~repro.models.counters.CostCounter`.  The RAM-model sorting algorithms
+of §3 (and their write-heavy classic baselines) run against it.
+
+Comparisons between *records already held in registers* are free in the model;
+only memory traffic is charged.  Consequently algorithms should read a value
+once into a local variable rather than indexing repeatedly — exactly the
+discipline the model rewards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .counters import CostCounter
+
+
+class InstrumentedArray:
+    """A fixed-length array charging element reads/writes to a counter.
+
+    Parameters
+    ----------
+    data:
+        Initial contents.  Loading the initial contents is *not* charged
+        (inputs are assumed to already reside in memory); pass
+        ``charge_init=True`` to charge one write per record instead.
+    counter:
+        Shared :class:`CostCounter`; a fresh one is created if omitted.
+    """
+
+    __slots__ = ("_data", "counter", "name")
+
+    def __init__(
+        self,
+        data: Iterable,
+        counter: CostCounter | None = None,
+        *,
+        charge_init: bool = False,
+        name: str = "",
+    ):
+        self._data = list(data)
+        self.counter = counter if counter is not None else CostCounter()
+        self.name = name
+        if charge_init:
+            self.counter.charge_write(len(self._data))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, idx: int):
+        if isinstance(idx, slice):
+            raise TypeError(
+                "InstrumentedArray does not support slicing; "
+                "read elements individually so every read is charged"
+            )
+        self.counter.charge_read()
+        return self._data[idx]
+
+    def __setitem__(self, idx: int, value) -> None:
+        if isinstance(idx, slice):
+            raise TypeError("InstrumentedArray does not support slice assignment")
+        self.counter.charge_write()
+        self._data[idx] = value
+
+    def __iter__(self) -> Iterator:
+        """Iterate over elements, charging one read each."""
+        for i in range(len(self._data)):
+            self.counter.charge_read()
+            yield self._data[i]
+
+    # ------------------------------------------------------------------ #
+    def peek_list(self) -> list:
+        """Uncharged copy of the contents — for *verification only*.
+
+        Tests use this to check sortedness without perturbing the counters.
+        """
+        return list(self._data)
+
+    def swap(self, i: int, j: int) -> None:
+        """Swap two elements: 2 reads + 2 writes (the RAM-model cost)."""
+        self.counter.charge_read(2)
+        self.counter.charge_write(2)
+        self._data[i], self._data[j] = self._data[j], self._data[i]
+
+    @classmethod
+    def empty(
+        cls, n: int, counter: CostCounter | None = None, name: str = ""
+    ) -> "InstrumentedArray":
+        """Allocate an array of ``n`` ``None`` slots (allocation is free)."""
+        return cls([None] * n, counter, name=name)

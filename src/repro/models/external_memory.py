@@ -1,0 +1,331 @@
+"""The Asymmetric External Memory (AEM) machine.
+
+§2 of the paper: the EM model of Aggarwal & Vitter with a primary memory of
+``M`` records, block transfers of ``B`` records, and an extra parameter
+``omega`` charged per *block write* (block reads cost 1).
+
+This module provides the executable machine the §4 algorithms run against:
+
+* :class:`ExtArray` — an array living in (simulated) secondary memory,
+  partitioned into blocks of ``B`` records; growable (for buffer-tree buffers).
+* :class:`AEMachine` — owns the cost counter and the transfer instructions
+  ``read_block`` / ``write_block``.
+* :class:`BlockReader` / :class:`BlockWriter` — the streaming access patterns
+  every algorithm in the paper uses: sequential scans charging one read per
+  block, and buffered appends charging one write per flushed block.
+* :class:`MemoryGuard` — tracks the number of records an algorithm holds in
+  primary memory, with a high-water mark; in strict mode it raises when the
+  declared capacity is exceeded.  Tests use it to check the "primary memory
+  size (M + 2B + ...)" clauses of Lemma 4.1 / Theorem 4.3 / Theorem 4.5.
+
+Transfers move *copies*: mutating a block obtained from ``read_block`` does
+not change secondary memory until it is written back, exactly as in the model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from .counters import CostCounter
+from .params import MachineParams
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised by a strict :class:`MemoryGuard` on over-allocation."""
+
+
+class MemoryGuard:
+    """Track primary-memory usage (in records) against a declared capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records the algorithm claims to hold at once
+        (e.g. ``M + 2B`` for the mergesort merge).  ``None`` disables checks
+        but still records the high-water mark.
+    strict:
+        If true, exceeding the capacity raises :class:`MemoryBudgetExceeded`.
+    """
+
+    def __init__(self, capacity: int | None = None, *, strict: bool = False):
+        self.capacity = capacity
+        self.strict = strict
+        self.in_use = 0
+        self.high_water = 0
+
+    def acquire(self, n: int) -> None:
+        """Declare that ``n`` more records now reside in primary memory."""
+        self.in_use += n
+        if self.in_use > self.high_water:
+            self.high_water = self.in_use
+        if self.strict and self.capacity is not None and self.in_use > self.capacity:
+            raise MemoryBudgetExceeded(
+                f"primary memory over budget: {self.in_use} > {self.capacity}"
+            )
+
+    def release(self, n: int) -> None:
+        """Declare that ``n`` records left primary memory."""
+        self.in_use -= n
+        if self.in_use < 0:
+            raise ValueError("MemoryGuard released more than acquired")
+
+    def reset(self) -> None:
+        self.in_use = 0
+        self.high_water = 0
+
+
+class ExtArray:
+    """An array in secondary memory, stored as blocks of ``B`` records.
+
+    Only the machine's transfer instructions touch the contents; algorithms
+    never index an :class:`ExtArray` directly.  The last block may be partial.
+    """
+
+    __slots__ = ("_blocks", "length", "B", "name")
+
+    def __init__(self, B: int, name: str = ""):
+        self.B = B
+        self._blocks: list[list] = []
+        self.length = 0
+        self.name = name
+
+    # -- internal (used by AEMachine only) ------------------------------ #
+    def _ensure_block(self, bi: int) -> None:
+        while len(self._blocks) <= bi:
+            self._blocks.append([])
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks occupied, ``ceil(length / B)``."""
+        return len(self._blocks)
+
+    def peek_list(self) -> list:
+        """Uncharged flat copy — verification only (never inside algorithms)."""
+        out: list = []
+        for blk in self._blocks:
+            out.extend(blk)
+        return out
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class AEMachine:
+    """The Asymmetric External Memory machine of §2.
+
+    Parameters
+    ----------
+    params:
+        The ``(M, B, omega)`` triple.
+    counter:
+        Shared cost counter; a fresh one is created if omitted.
+
+    Notes
+    -----
+    ``read_block`` charges one block read; ``write_block`` charges one block
+    write (which the experiments weight by ``omega``).  Work *within* primary
+    memory is free, per the model.
+    """
+
+    def __init__(self, params: MachineParams, counter: CostCounter | None = None):
+        self.params = params
+        self.counter = counter if counter is not None else CostCounter()
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self, name: str = "") -> ExtArray:
+        """Allocate a fresh, empty external array (allocation is free)."""
+        return ExtArray(self.params.B, name=name)
+
+    def from_list(self, data: Iterable, name: str = "", *, charge: bool = False) -> ExtArray:
+        """Materialise ``data`` as an external array.
+
+        By convention the problem input already resides in secondary memory,
+        so loading it is free; pass ``charge=True`` to charge the writes
+        (used when an algorithm must *produce* such an array).
+        """
+        arr = self.allocate(name)
+        B = self.params.B
+        buf: list = []
+        items = list(data)
+        for start in range(0, len(items), B):
+            buf = items[start : start + B]
+            arr._blocks.append(list(buf))
+            if charge:
+                self.counter.charge_block_write()
+        arr.length = len(items)
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # the two transfer instructions of the model
+    # ------------------------------------------------------------------ #
+    def read_block(self, arr: ExtArray, bi: int) -> list:
+        """Transfer block ``bi`` of ``arr`` into primary memory (cost 1)."""
+        if bi < 0 or bi >= len(arr._blocks):
+            raise IndexError(f"block {bi} out of range for array with {len(arr._blocks)} blocks")
+        self.counter.charge_block_read()
+        return list(arr._blocks[bi])
+
+    def write_block(self, arr: ExtArray, bi: int, values: list) -> None:
+        """Transfer ``values`` from primary memory into block ``bi`` (cost ω).
+
+        Writing block ``num_blocks`` appends a new block.  Blocks must contain
+        at most ``B`` records; only the final block of an array may be partial
+        (enforced lazily — intermediate partial blocks would corrupt
+        ``length`` bookkeeping).
+        """
+        B = self.params.B
+        if len(values) > B:
+            raise ValueError(f"block of {len(values)} records exceeds B={B}")
+        if bi < 0 or bi > len(arr._blocks):
+            raise IndexError(f"cannot write block {bi}; array has {len(arr._blocks)} blocks")
+        self.counter.charge_block_write()
+        if bi == len(arr._blocks):
+            arr._blocks.append(list(values))
+            arr.length += len(values)
+        else:
+            old = len(arr._blocks[bi])
+            arr._blocks[bi] = list(values)
+            arr.length += len(values) - old
+
+    # ------------------------------------------------------------------ #
+    # free (zero-I/O) structural operations
+    # ------------------------------------------------------------------ #
+    def split_blocks(self, arr: ExtArray, parts: int) -> list[ExtArray]:
+        """Partition ``arr`` into ``parts`` block-aligned subarrays, free.
+
+        This models renaming contiguous *regions* of secondary memory (the
+        "evenly partition A ... at the granularity of blocks" step of
+        Algorithm 2); no records move, so no transfer is charged.  Empty
+        trailing parts are dropped.
+        """
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        nb = arr.num_blocks
+        per = math.ceil(nb / parts) if nb else 0
+        out: list[ExtArray] = []
+        for start in range(0, nb, max(per, 1)):
+            sub = ExtArray(self.params.B, name=f"{arr.name}[{start}:]")
+            sub._blocks = arr._blocks[start : start + per]
+            sub.length = sum(len(b) for b in sub._blocks)
+            out.append(sub)
+            if len(out) == parts:
+                break
+        return [s for s in out if s.length > 0]
+
+    def concat(self, arrays: list[ExtArray], name: str = "") -> ExtArray:
+        """Concatenate arrays by renaming regions, free.
+
+        Each input array keeps its own blocks, so a partial final block of a
+        non-final input becomes a partial block *inside* the result.  This
+        models bucket regions that each start at a block boundary — exactly
+        the layout behind the ``+ kM/B`` partial-block write term in the
+        Theorem 4.5 analysis.  Scans over the result simply see the records
+        in order; block counts reflect the fragmentation honestly.
+        """
+        out = ExtArray(self.params.B, name=name)
+        for a in arrays:
+            out._blocks.extend(a._blocks)
+            out.length += a.length
+        return out
+
+    # ------------------------------------------------------------------ #
+    # derived helpers (cost-equivalent compositions of the two transfers)
+    # ------------------------------------------------------------------ #
+    def scan(self, arr: ExtArray) -> Iterator:
+        """Yield every record of ``arr`` in order, charging 1 read per block."""
+        for bi in range(arr.num_blocks):
+            for rec in self.read_block(arr, bi):
+                yield rec
+
+    def blocks_of(self, n: int) -> int:
+        """``ceil(n / B)`` — the number of blocks ``n`` records occupy."""
+        return math.ceil(n / self.params.B)
+
+    def reader(self, arr: ExtArray, start_block: int = 0) -> "BlockReader":
+        return BlockReader(self, arr, start_block)
+
+    def writer(self, arr: ExtArray | None = None, name: str = "") -> "BlockWriter":
+        return BlockWriter(self, arr if arr is not None else self.allocate(name))
+
+
+class BlockReader:
+    """Sequential block-at-a-time reader with an explicit pointer.
+
+    Mirrors the pointers ``I_1..I_l`` of Algorithm 2: ``load_next`` transfers
+    the next block (cost 1) and exposes it; ``exhausted`` reports whether the
+    pointer has passed the final block.
+    """
+
+    def __init__(self, machine: AEMachine, arr: ExtArray, start_block: int = 0):
+        self.machine = machine
+        self.arr = arr
+        self.next_block = start_block
+        self.current: list | None = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_block >= self.arr.num_blocks
+
+    def load_next(self) -> list:
+        """Read the next block, advance the pointer, return the block."""
+        if self.exhausted:
+            raise IndexError("BlockReader exhausted")
+        self.current = self.machine.read_block(self.arr, self.next_block)
+        self.next_block += 1
+        return self.current
+
+    def records(self) -> Iterator:
+        """Stream all remaining records, charging one read per block."""
+        while not self.exhausted:
+            yield from self.load_next()
+
+
+class BlockWriter:
+    """Buffered appender: holds <= B records in primary memory, flushing full
+    blocks to secondary memory (one block write each).
+
+    The in-memory partial block is the "store buffer" of Algorithm 2.  Always
+    ``close()`` (or use as a context manager) so the final partial block is
+    flushed and charged.
+    """
+
+    def __init__(self, machine: AEMachine, arr: ExtArray):
+        self.machine = machine
+        self.arr = arr
+        self._buf: list = []
+        self.written = 0
+        self.closed = False
+
+    def append(self, rec) -> None:
+        if self.closed:
+            raise RuntimeError("BlockWriter already closed")
+        self._buf.append(rec)
+        self.written += 1
+        if len(self._buf) == self.machine.params.B:
+            self._flush()
+
+    def extend(self, recs: Iterable) -> None:
+        for rec in recs:
+            self.append(rec)
+
+    def _flush(self) -> None:
+        if self._buf:
+            self.machine.write_block(self.arr, self.arr.num_blocks, self._buf)
+            self._buf = []
+
+    def close(self) -> ExtArray:
+        """Flush the partial block and return the written array."""
+        if not self.closed:
+            self._flush()
+            self.closed = True
+        return self.arr
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()

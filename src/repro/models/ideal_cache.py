@@ -1,0 +1,352 @@
+"""The Asymmetric Ideal-Cache model: an executable cache simulator.
+
+§2 of the paper defines the Asymmetric Ideal-Cache model: all addressable
+memory lives in secondary memory; up to ``M/B`` blocks may be resident in the
+cache; a miss costs 1 (the read transfer) and evicting a *dirty* block costs
+an additional ``omega`` (the write-back).  The paper proves (Lemma 2.1) that
+the **read-write LRU** policy — two equal-sized pools, a read pool and a
+write pool — is constant-factor competitive with the offline optimal.
+
+This module provides:
+
+* :class:`CacheSim` — a block-granularity cache simulator with policies
+  ``"lru"`` (single pool, dirty write-back), ``"rwlru"`` (the paper's policy),
+  and offline ``"belady"`` replay via :func:`simulate_trace`.
+* :class:`SimArray` — an element-addressable array whose every access is
+  routed through a :class:`CacheSim`; the §5 cache-oblivious algorithms are
+  written against it and never see ``M`` or ``B``.
+
+Data correctness is decoupled from cost accounting: element values live in
+backing storage, and the cache tracks only residency/dirtiness metadata, so a
+policy bug can corrupt *costs* but never *outputs* (tests check both).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from .counters import CostCounter
+from .params import MachineParams
+
+
+class CacheSim:
+    """Block-level cache simulator with asymmetric write-back accounting.
+
+    Parameters
+    ----------
+    params:
+        ``(M, B, omega)``.  For ``policy="rwlru"`` the *total* capacity ``M``
+        is split into two pools of ``M/(2B)`` blocks each, matching Lemma 2.1
+        (which compares pools of size ``M_L`` against an ideal cache ``M_I``).
+    policy:
+        ``"lru"`` or ``"rwlru"``.
+    record_trace:
+        If true, every block access ``(block_id, is_write)`` is appended to
+        :attr:`trace` for later offline (Belady) replay.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        policy: str = "rwlru",
+        counter: CostCounter | None = None,
+        *,
+        record_trace: bool = False,
+    ):
+        if policy not in ("lru", "rwlru"):
+            raise ValueError(f"unknown online policy {policy!r}")
+        self.params = params
+        self.policy = policy
+        self.counter = counter if counter is not None else CostCounter()
+        self.record_trace = record_trace
+        self.trace: list[tuple[int, bool]] = []
+        self._next_base = 0
+        # residency metadata: OrderedDict block_id -> dirty flag
+        self._pool: OrderedDict[int, bool] = OrderedDict()  # lru
+        self._read_pool: OrderedDict[int, None] = OrderedDict()  # rwlru
+        self._write_pool: OrderedDict[int, None] = OrderedDict()  # rwlru
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # address space
+    # ------------------------------------------------------------------ #
+    def alloc(self, n: int) -> int:
+        """Reserve ``n`` consecutive addresses, block-aligned; return base."""
+        B = self.params.B
+        base = self._next_base
+        if base % B:
+            base += B - base % B
+        self._next_base = base + n
+        return base
+
+    def array(self, data_or_len, name: str = "") -> "SimArray":
+        """Allocate a :class:`SimArray` over this cache."""
+        return SimArray(self, data_or_len, name=name)
+
+    # ------------------------------------------------------------------ #
+    # the access path
+    # ------------------------------------------------------------------ #
+    def access(self, addr: int, is_write: bool) -> None:
+        """Touch one word; charge misses/write-backs per the model."""
+        block = addr // self.params.B
+        if self.record_trace:
+            self.trace.append((block, is_write))
+        if self.policy == "lru":
+            self._access_lru(block, is_write)
+        else:
+            self._access_rwlru(block, is_write)
+
+    def _access_lru(self, block: int, is_write: bool) -> None:
+        pool = self._pool
+        if block in pool:
+            self.hits += 1
+            pool[block] = pool[block] or is_write
+            pool.move_to_end(block)
+            return
+        self.misses += 1
+        self.counter.charge_block_read()
+        if len(pool) >= self.params.blocks_in_memory:
+            _evicted, dirty = pool.popitem(last=False)
+            if dirty:
+                self.counter.charge_block_write()
+        pool[block] = is_write
+
+    def _access_rwlru(self, block: int, is_write: bool) -> None:
+        """The read-write LRU policy of Lemma 2.1.
+
+        Two pools of ``M/(2B)`` blocks.  Reads are served from either pool;
+        a read miss loads into the read pool (evicting its LRU, which is
+        clean, cost 0 beyond the load).  Writes are served from the write
+        pool; a write miss loads into the write pool (cost 1) and evicting
+        the write-pool LRU costs ``omega`` (every write-pool block is dirty).
+        """
+        half = max(1, self.params.blocks_in_memory // 2)
+        rp, wp = self._read_pool, self._write_pool
+        if not is_write:
+            if block in rp:
+                self.hits += 1
+                rp.move_to_end(block)
+                return
+            if block in wp:
+                # copy dirty block into the read pool (in-cache, free);
+                # it remains in the write pool where its dirty bytes live.
+                self.hits += 1
+                wp.move_to_end(block)
+                self._insert(rp, block, half, dirty_pool=False)
+                return
+            self.misses += 1
+            self.counter.charge_block_read()
+            self._insert(rp, block, half, dirty_pool=False)
+        else:
+            if block in wp:
+                self.hits += 1
+                wp.move_to_end(block)
+                return
+            if block in rp:
+                # promote: move the clean copy into the write pool.
+                self.hits += 1
+                del rp[block]
+                self._insert(wp, block, half, dirty_pool=True)
+                return
+            self.misses += 1
+            self.counter.charge_block_read()
+            self._insert(wp, block, half, dirty_pool=True)
+
+    def _insert(
+        self, pool: OrderedDict, block: int, capacity: int, *, dirty_pool: bool
+    ) -> None:
+        if len(pool) >= capacity:
+            pool.popitem(last=False)
+            if dirty_pool:
+                self.counter.charge_block_write()
+        pool[block] = None
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Write back all dirty blocks (end-of-computation accounting)."""
+        if self.policy == "lru":
+            for _block, dirty in self._pool.items():
+                if dirty:
+                    self.counter.charge_block_write()
+            self._pool.clear()
+        else:
+            self.counter.charge_block_write(len(self._write_pool))
+            self._write_pool.clear()
+            self._read_pool.clear()
+
+    def cost(self) -> float:
+        """``block_reads + omega * block_writes`` accumulated so far."""
+        return self.counter.block_cost(self.params.omega)
+
+
+class SimArray:
+    """An array whose element accesses are charged through a :class:`CacheSim`.
+
+    Cache-oblivious algorithms index :class:`SimArray` objects exactly like
+    lists; they never see ``M`` or ``B``.  Slicing is intentionally not
+    supported so no access can bypass the cache.
+    """
+
+    __slots__ = ("cache", "base", "_data", "name")
+
+    def __init__(self, cache: CacheSim, data_or_len, name: str = ""):
+        self.cache = cache
+        if isinstance(data_or_len, int):
+            self._data = [None] * data_or_len
+        else:
+            self._data = list(data_or_len)
+        self.base = cache.alloc(len(self._data))
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, idx: int):
+        if isinstance(idx, slice):
+            raise TypeError("SimArray does not support slicing")
+        if idx < 0 or idx >= len(self._data):
+            raise IndexError(f"index {idx} out of range (len {len(self._data)})")
+        self.cache.access(self.base + idx, False)
+        return self._data[idx]
+
+    def __setitem__(self, idx: int, value) -> None:
+        if isinstance(idx, slice):
+            raise TypeError("SimArray does not support slice assignment")
+        if idx < 0 or idx >= len(self._data):
+            raise IndexError(f"index {idx} out of range (len {len(self._data)})")
+        self.cache.access(self.base + idx, True)
+        self._data[idx] = value
+
+    def view(self, offset: int, length: int) -> "SimView":
+        """A zero-copy sub-array window (recursions use these)."""
+        return SimView(self, offset, length)
+
+    def peek_list(self) -> list:
+        """Uncharged copy of the contents — verification only."""
+        return list(self._data)
+
+
+class SimView:
+    """A window onto a :class:`SimArray` sharing its address space."""
+
+    __slots__ = ("parent", "offset", "length")
+
+    def __init__(self, parent, offset: int, length: int):
+        # flatten nested views so address arithmetic stays O(1)
+        while isinstance(parent, SimView):
+            offset += parent.offset
+            parent = parent.parent
+        if offset < 0 or offset + length > len(parent._data):
+            raise IndexError(
+                f"view [{offset}, {offset + length}) out of range (len {len(parent._data)})"
+            )
+        self.parent = parent
+        self.offset = offset
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def _check(self, idx: int) -> int:
+        if idx < 0 or idx >= self.length:
+            raise IndexError(f"index {idx} out of range (view len {self.length})")
+        return self.offset + idx
+
+    def __getitem__(self, idx: int):
+        return self.parent[self._check(idx)]
+
+    def __setitem__(self, idx: int, value) -> None:
+        self.parent[self._check(idx)] = value
+
+    def view(self, offset: int, length: int) -> "SimView":
+        return SimView(self, offset, length)
+
+    def peek_list(self) -> list:
+        return [self.parent._data[self.offset + i] for i in range(self.length)]
+
+
+def simulate_trace(
+    trace: Iterable[tuple[int, bool]],
+    params: MachineParams,
+    policy: str = "belady",
+) -> CostCounter:
+    """Replay a block-access trace under an offline or online policy.
+
+    ``policy="belady"`` implements MIN (evict the resident block whose next
+    use is farthest in the future), charging 1 per miss and ``omega`` (one
+    block write) per dirty eviction.  Classic MIN minimises *misses*; under
+    asymmetric costs it is merely a good offline baseline — see DESIGN.md and
+    experiment E7 for how it stands in for the (intractable) asymmetric OPT.
+
+    Returns the populated :class:`CostCounter` (including a final flush of
+    dirty blocks).
+    """
+    trace = list(trace)
+    counter = CostCounter()
+    capacity = params.blocks_in_memory
+    if policy in ("lru", "rwlru"):
+        sim = CacheSim(params, policy=policy, counter=counter)
+        for block, is_write in trace:
+            # replay at block granularity: address block*B touches that block
+            sim.access(block * params.B, is_write)
+        sim.flush()
+        return counter
+    if policy not in ("belady", "belady-asym"):
+        raise ValueError(f"unknown policy {policy!r}")
+
+    # Precompute next-use lists per block.
+    next_use: dict[int, list[int]] = {}
+    for i, (block, _w) in enumerate(trace):
+        next_use.setdefault(block, []).append(i)
+    # pointer into each block's use list
+    ptr: dict[int, int] = {b: 0 for b in next_use}
+
+    INF = len(trace) + 1
+
+    def nxt(block: int, now: int) -> int:
+        uses = next_use[block]
+        p = ptr[block]
+        while p < len(uses) and uses[p] <= now:
+            p += 1
+        ptr[block] = p
+        return uses[p] if p < len(uses) else INF
+
+    resident: dict[int, bool] = {}  # block -> dirty
+
+    def victim_belady(now: int) -> int:
+        """Classic MIN: farthest next use, ignoring dirtiness."""
+        return max(resident, key=lambda b: nxt(b, now))
+
+    def victim_belady_asym(now: int) -> int:
+        """Write-aware greedy MIN: evicting a dirty block costs ``omega``
+        now, so rank victims by (next use) but discount dirty blocks — a
+        dirty block is only evicted when its next use is at least ``omega``
+        accesses beyond the best clean candidate.  (A heuristic: the true
+        asymmetric offline optimum is not efficiently computable.)
+        """
+        best = None
+        best_score = None
+        for b, dirty in resident.items():
+            score = nxt(b, now) - (params.omega if dirty else 0)
+            if best_score is None or score > best_score:
+                best, best_score = b, score
+        return best
+
+    choose = victim_belady if policy == "belady" else victim_belady_asym
+
+    for i, (block, is_write) in enumerate(trace):
+        if block in resident:
+            resident[block] = resident[block] or is_write
+            continue
+        counter.charge_block_read()
+        if len(resident) >= capacity:
+            victim = choose(i)
+            if resident.pop(victim):
+                counter.charge_block_write()
+        resident[block] = is_write
+    for dirty in resident.values():
+        if dirty:
+            counter.charge_block_write()
+    return counter

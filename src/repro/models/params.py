@@ -1,0 +1,96 @@
+"""Machine parameters shared by the EM/cache models.
+
+The Asymmetric External Memory (AEM) and Asymmetric Ideal-Cache models of the
+paper are parameterised by
+
+* ``M`` — primary-memory (cache) capacity, in records,
+* ``B`` — block size, in records,
+* ``omega`` — the cost of writing one block (or word), relative to a unit read.
+
+The paper additionally allows ``O(log M)`` extra primary-memory words for
+bookkeeping (stacks, the largest output record of Lemma 4.2, etc.); the
+:class:`~repro.models.external_memory.MemoryGuard` honours that allowance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Validated (M, B, omega) triple with derived quantities.
+
+    Parameters
+    ----------
+    M:
+        Primary-memory capacity in records. Must satisfy ``M >= B >= 1``.
+    B:
+        Block size in records.
+    omega:
+        Relative write cost, ``omega >= 1``. The paper assumes ``omega > 1``
+        (asymmetry); ``omega = 1`` recovers the symmetric EM model and is
+        allowed here so baselines can share code paths.
+    """
+
+    M: int
+    B: int
+    omega: int
+
+    def __post_init__(self) -> None:
+        if self.B < 1:
+            raise ValueError(f"block size B must be >= 1, got {self.B}")
+        if self.M < self.B:
+            raise ValueError(f"memory M={self.M} must be >= block size B={self.B}")
+        if self.omega < 1:
+            raise ValueError(f"omega must be >= 1, got {self.omega}")
+        if self.M % self.B != 0:
+            raise ValueError(
+                f"M={self.M} must be a multiple of B={self.B} "
+                "(primary memory holds an integral number of blocks)"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def blocks_in_memory(self) -> int:
+        """``M/B`` — the number of blocks the primary memory can hold."""
+        return self.M // self.B
+
+    @property
+    def tall_cache(self) -> bool:
+        """Whether ``M >= B**2`` (the tall-cache assumption of §2)."""
+        return self.M >= self.B * self.B
+
+    def fanout(self, k: int) -> int:
+        """``l = k * M / B`` — the merge/partition fanout used throughout §4."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return k * self.blocks_in_memory
+
+    def with_omega(self, omega: int) -> "MachineParams":
+        """Copy with a different write cost (used by omega sweeps)."""
+        return MachineParams(self.M, self.B, omega)
+
+    def bookkeeping_allowance(self) -> int:
+        """The ``O(log M)`` extra words of primary memory permitted by §2."""
+        return max(8, 4 * int(math.ceil(math.log2(max(self.M, 2)))))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(M={self.M}, B={self.B}, omega={self.omega})"
+
+
+#: Small parameter sets used across tests.  Chosen so that n of a few thousand
+#: records already exercises 2-3 levels of recursion.
+TINY = MachineParams(M=16, B=4, omega=8)
+SMALL = MachineParams(M=64, B=8, omega=8)
+MEDIUM = MachineParams(M=256, B=16, omega=8)
+
+
+def parameter_grid() -> list[MachineParams]:
+    """The (M, B, omega) grid used by the experiment sweeps."""
+    grid = []
+    for M, B in [(64, 8), (256, 16), (1024, 32)]:
+        for omega in (2, 4, 8, 16, 32):
+            grid.append(MachineParams(M=M, B=B, omega=omega))
+    return grid

@@ -1,0 +1,170 @@
+"""The Asymmetric PRAM model: work/depth accounting with ω-weighted writes.
+
+§2 of the paper: *"In the Asymmetric PRAM, the standard PRAM is augmented such
+that each write costs ω and all other instructions cost 1."* Algorithms are
+analysed by **work** (total cost of operations) and **depth** (parallel time on
+unboundedly many processors); Brent's theorem converts the pair into a
+``p``-processor running time::
+
+    T(n, p) = O((ω·w(n) + r(n)) / p + d(n))
+
+Python executes sequentially, so we *account* rather than parallelise:
+algorithms structure themselves with :meth:`DepthTracker.parallel` /
+:meth:`~_ParallelFrame.branch` regions.  Inside a branch, each charged
+operation contributes to that branch's own depth; at the join, the enclosing
+region's depth grows by the *maximum* branch depth — exactly the nested
+fork-join semantics under which the paper states its bounds.  Work (total
+reads/writes/ops) accumulates globally in a shared
+:class:`~repro.models.counters.CostCounter`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .counters import CostCounter
+
+
+class DepthTracker:
+    """Accumulates work and depth for a nested-parallel computation.
+
+    Parameters
+    ----------
+    omega:
+        Relative write cost; a charged write adds ``omega`` to depth and one
+        element write to the work counter.
+    counter:
+        Shared work counter (element granularity).
+    """
+
+    def __init__(self, omega: int, counter: CostCounter | None = None):
+        if omega < 1:
+            raise ValueError(f"omega must be >= 1, got {omega}")
+        self.omega = omega
+        self.counter = counter if counter is not None else CostCounter()
+        self.other_ops = 0
+        self._depth_stack: list[float] = [0.0]
+
+    # ------------------------------------------------------------------ #
+    # charging
+    # ------------------------------------------------------------------ #
+    def charge(self, *, reads: int = 0, writes: int = 0, ops: int = 0) -> None:
+        """Charge operations on the *current sequential strand*.
+
+        ``reads`` and ``ops`` add 1 each to depth; ``writes`` add ``omega``.
+        """
+        if reads:
+            self.counter.charge_read(reads)
+        if writes:
+            self.counter.charge_write(writes)
+        self.other_ops += ops
+        self._depth_stack[-1] += reads + ops + self.omega * writes
+
+    def charge_work_only(self, *, reads: int = 0, writes: int = 0, ops: int = 0) -> None:
+        """Charge work without advancing depth.
+
+        Used when executing a *cited parallel primitive* (Cole's mergesort,
+        parallel prefix sums, parallel radix sort) sequentially: the real
+        operation counts are charged as work, and the primitive's published
+        depth is charged separately via :meth:`charge_depth`.
+        """
+        if reads:
+            self.counter.charge_read(reads)
+        if writes:
+            self.counter.charge_write(writes)
+        self.other_ops += ops
+
+    def charge_depth(self, amount: float) -> None:
+        """Advance the current strand's depth by ``amount`` (no work)."""
+        if amount < 0:
+            raise ValueError("depth charge must be non-negative")
+        self._depth_stack[-1] += amount
+
+    def charge_parallel_bulk(
+        self, count: int, *, reads: int = 0, writes: int = 0, ops: int = 0
+    ) -> None:
+        """Charge ``count`` identical parallel iterates in one call.
+
+        Work grows by ``count`` times the per-iterate charges; depth grows by
+        a *single* iterate's cost (they run in parallel).  Equivalent to a
+        ``parallel_for`` whose every branch charges the same amounts, without
+        per-iterate bookkeeping overhead.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self.counter.charge_read(count * reads)
+        self.counter.charge_write(count * writes)
+        self.other_ops += count * ops
+        self._depth_stack[-1] += reads + ops + self.omega * writes
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def parallel(self):
+        """Open a fork-join region; yields a frame with ``branch()``."""
+        frame = _ParallelFrame(self)
+        yield frame
+        # join: the region costs the deepest branch
+        self._depth_stack[-1] += frame.max_branch_depth
+
+    def parallel_for(self, items, body) -> list:
+        """Run ``body(item)`` for every item as parallel branches.
+
+        Returns the list of results.  Each iterate's charged operations count
+        toward depth independently; the loop's depth contribution is the
+        maximum iterate depth (plus nothing for loop control, which the PRAM
+        model treats as free scheduling).
+        """
+        results = []
+        with self.parallel() as frame:
+            for item in items:
+                with frame.branch():
+                    results.append(body(item))
+        return results
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> float:
+        """Depth accumulated at the top level (all regions must be closed)."""
+        if len(self._depth_stack) != 1:
+            raise RuntimeError("depth read while parallel regions are still open")
+        return self._depth_stack[0]
+
+    @property
+    def work(self) -> float:
+        """Total asymmetric work: ``reads + ops + omega * writes``."""
+        return (
+            self.counter.element_reads
+            + self.other_ops
+            + self.omega * self.counter.element_writes
+        )
+
+    def brent_time(self, p: int) -> float:
+        """Brent's-theorem running time on ``p`` processors (§2)."""
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        return self.work / p + self.depth
+
+
+class _ParallelFrame:
+    """One fork-join region: tracks the deepest branch seen so far."""
+
+    def __init__(self, tracker: DepthTracker):
+        self._tracker = tracker
+        self.max_branch_depth = 0.0
+        self.branches = 0
+
+    @contextmanager
+    def branch(self):
+        """One parallel iterate; its charges accrue to a private depth."""
+        self._tracker._depth_stack.append(0.0)
+        try:
+            yield
+        finally:
+            d = self._tracker._depth_stack.pop()
+            if d > self.max_branch_depth:
+                self.max_branch_depth = d
+            self.branches += 1

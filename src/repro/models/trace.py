@@ -1,0 +1,113 @@
+"""Access-trace utilities for offline cache replay and scheduler simulation.
+
+A *trace* is a list of ``(block_id, is_write)`` pairs, the granularity at
+which every cache policy in :mod:`repro.models.ideal_cache` operates.  This
+module provides helpers to capture a trace from a computation, summarise it,
+and generate synthetic traces with controlled locality for the Lemma-2.1
+experiments (E7).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from .counters import CostCounter
+from .ideal_cache import CacheSim, simulate_trace
+from .params import MachineParams
+
+
+def capture_trace(
+    computation: Callable[[CacheSim], None], params: MachineParams
+) -> list[tuple[int, bool]]:
+    """Run ``computation(cache)`` with trace recording on; return the trace.
+
+    The cache used for capture is a throwaway — only the access sequence
+    matters, and the sequence is policy-independent (policies decide costs,
+    not which addresses a deterministic computation touches).
+    """
+    cache = CacheSim(params, policy="lru", record_trace=True)
+    computation(cache)
+    return cache.trace
+
+
+def trace_stats(trace: list[tuple[int, bool]]) -> dict:
+    """Basic shape statistics of a trace (length, write fraction, blocks)."""
+    n = len(trace)
+    writes = sum(1 for _b, w in trace if w)
+    blocks = len({b for b, _w in trace})
+    return {
+        "accesses": n,
+        "writes": writes,
+        "write_fraction": writes / n if n else 0.0,
+        "distinct_blocks": blocks,
+    }
+
+
+def compare_policies(
+    trace: list[tuple[int, bool]],
+    params: MachineParams,
+    policies: tuple[str, ...] = ("lru", "rwlru", "belady"),
+) -> dict[str, CostCounter]:
+    """Replay one trace under several policies; return counters per policy."""
+    return {p: simulate_trace(trace, params, policy=p) for p in policies}
+
+
+# ---------------------------------------------------------------------- #
+# synthetic traces for E7
+# ---------------------------------------------------------------------- #
+def random_trace(
+    n_accesses: int,
+    n_blocks: int,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[tuple[int, bool]]:
+    """Uniform random block accesses (worst-case locality)."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_blocks), rng.random() < write_fraction)
+        for _ in range(n_accesses)
+    ]
+
+
+def looping_trace(
+    n_loops: int, n_blocks: int, write_fraction: float = 0.3, seed: int = 0
+) -> list[tuple[int, bool]]:
+    """Cyclic scans over ``n_blocks`` — the classic LRU adversary."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_loops):
+        for b in range(n_blocks):
+            out.append((b, rng.random() < write_fraction))
+    return out
+
+
+def zipf_trace(
+    n_accesses: int,
+    n_blocks: int,
+    skew: float = 1.2,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> list[tuple[int, bool]]:
+    """Skewed popularity (hot blocks), typical of real workloads."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** skew for i in range(n_blocks)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def pick() -> int:
+        x = rng.random()
+        lo, hi = 0, n_blocks - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return [(pick(), rng.random() < write_fraction) for _ in range(n_accesses)]

@@ -1,0 +1,27 @@
+"""§2 scheduler substrate: fork-join DAGs and cache-aware scheduler simulators.
+
+The paper extends two classic scheduling bounds to the asymmetric setting:
+
+* private caches + randomized work stealing:
+  ``Q_p <= Q_1 + O(p * D * M / B)`` w.h.p. (each steal forces a cache warm-up
+  of at most ``2M/B`` reads+writes);
+* shared cache of size ``M + p*B*D`` + parallel-depth-first (PDF) schedule:
+  ``Q_p <= Q_1``.
+
+We reproduce both by recording a fork-join computation as a task DAG with
+per-task block-access traces, then replaying it under simulated schedulers
+with per-worker (or shared) asymmetric caches.
+"""
+
+from .dag import TaskNode, build_parallel_mergesort_dag, dag_depth, dag_work
+from .pdf import simulate_pdf
+from .workstealing import simulate_work_stealing
+
+__all__ = [
+    "TaskNode",
+    "build_parallel_mergesort_dag",
+    "dag_depth",
+    "dag_work",
+    "simulate_pdf",
+    "simulate_work_stealing",
+]

@@ -1,0 +1,86 @@
+"""Fork-join task DAGs with per-task block-access traces.
+
+A nested-parallel computation is a tree of :class:`TaskNode`:
+
+* ``pre`` — the strand executed before spawning the children,
+* ``children`` — sub-computations that may run in parallel,
+* ``post`` — the continuation after the join.
+
+Each strand carries its block-access trace ``[(block_id, is_write), ...]``;
+schedulers replay the traces through simulated caches.  The canonical
+workload is a parallel two-way mergesort over an address space, whose merge
+strands read their two halves and write a scratch region — enough reuse for
+cache placement to matter, and a textbook fork-join shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.params import MachineParams
+
+
+@dataclass
+class TaskNode:
+    """One fork-join node: pre-strand, parallel children, post-strand."""
+
+    name: str = ""
+    pre: list[tuple[int, bool]] = field(default_factory=list)
+    children: list["TaskNode"] = field(default_factory=list)
+    post: list[tuple[int, bool]] = field(default_factory=list)
+
+
+def dag_work(node: TaskNode) -> int:
+    """Total accesses in the DAG (the work term of the schedule bounds)."""
+    return (
+        len(node.pre)
+        + len(node.post)
+        + sum(dag_work(c) for c in node.children)
+    )
+
+
+def dag_depth(node: TaskNode) -> int:
+    """Longest chain of accesses through the DAG (the depth term ``D``)."""
+    child_depth = max((dag_depth(c) for c in node.children), default=0)
+    return len(node.pre) + child_depth + len(node.post)
+
+
+# ---------------------------------------------------------------------- #
+# canonical workload: parallel mergesort
+# ---------------------------------------------------------------------- #
+def build_parallel_mergesort_dag(n: int, params: MachineParams) -> TaskNode:
+    """A parallel mergesort DAG over ``n`` records.
+
+    Address space: records ``[0, n)``, scratch ``[n, 2n)``.  Each merge node
+    reads its two sorted halves and writes the merged run to scratch, then
+    copies back (reads scratch, writes the range) — the access *pattern* of
+    mergesort, independent of key values (which don't change block traffic).
+    """
+    B = params.B
+
+    def addr(i: int) -> int:
+        return i // B  # block id of record i
+
+    def build(lo: int, hi: int, depth: int) -> TaskNode:
+        node = TaskNode(name=f"sort[{lo}:{hi}]")
+        size = hi - lo
+        if size <= B:
+            # base: read the run, write it back sorted
+            for i in range(lo, hi):
+                node.pre.append((addr(i), False))
+            for i in range(lo, hi):
+                node.pre.append((addr(i), True))
+            return node
+        mid = (lo + hi) // 2
+        node.children.append(build(lo, mid, depth + 1))
+        node.children.append(build(mid, hi, depth + 1))
+        # post: merge both halves into scratch, then copy back
+        for i in range(lo, hi):
+            node.post.append((addr(i), False))
+            node.post.append((addr(n + i), True))
+        for i in range(lo, hi):
+            node.post.append((addr(n + i), False))
+            node.post.append((addr(i), True))
+        return node
+
+    return build(0, n, 0)

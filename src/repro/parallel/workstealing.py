@@ -1,0 +1,163 @@
+"""Randomized work-stealing over private asymmetric caches (§2).
+
+Simulates ``p`` workers, each with a private
+:class:`~repro.models.ideal_cache.CacheSim`.  A worker executes its current
+strand one access at a time (a write stalls the worker ``omega`` ticks, the
+asymmetric time model); on running dry it pops its own deque from the bottom,
+or steals from the *top* of a uniformly random victim's deque.
+
+Join continuations run on the worker that completes the last child — the
+standard work-stealing convention whose analysis gives ``O(pD)`` steals and
+hence ``Q_p <= Q_1 + O(p D M / B)`` extra misses (each steal / join migration
+forces at most a cache's worth of warm-up; in the asymmetric setting the
+paper charges ``2M/B`` reads *and* writes per steal).
+
+Running with ``p = 1`` yields the sequential baseline ``Q_1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..models.counters import CostCounter
+from ..models.ideal_cache import CacheSim
+from ..models.params import MachineParams
+from .dag import TaskNode
+
+
+@dataclass
+class _Strand:
+    """An executable unit: a node's pre or post access list."""
+
+    node: TaskNode
+    kind: str  # "pre" | "post"
+    trace: list = field(default_factory=list)
+
+
+@dataclass
+class WorkStealingResult:
+    """Aggregate measurements of one simulated run."""
+
+    p: int
+    steals: int
+    makespan: int
+    total_misses: int
+    total_block_reads: int
+    total_block_writes: int
+    per_worker: list[CostCounter]
+
+    def cost(self, omega: int) -> float:
+        return self.total_block_reads + omega * self.total_block_writes
+
+
+def simulate_work_stealing(
+    root: TaskNode,
+    p: int,
+    params: MachineParams,
+    policy: str = "lru",
+    seed: int = 0,
+) -> WorkStealingResult:
+    """Replay the DAG under randomized work stealing with ``p`` workers."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    rng = random.Random(seed)
+    caches = [CacheSim(params, policy=policy) for _ in range(p)]
+
+    pending: dict[int, int] = {}  # id(node) -> outstanding children
+    parent: dict[int, TaskNode | None] = {}
+
+    def register(node: TaskNode, par: TaskNode | None) -> None:
+        parent[id(node)] = par
+        pending[id(node)] = len(node.children)
+        for c in node.children:
+            register(c, node)
+
+    register(root, None)
+
+    deques: list[list[_Strand]] = [[] for _ in range(p)]
+    deques[0].append(_Strand(root, "pre", list(root.pre)))
+
+    current: list[_Strand | None] = [None] * p
+    cursor = [0] * p  # index into current strand's trace
+    stall = [0] * p  # remaining ticks of the in-flight access
+    steals = 0
+    done = False
+    ticks = 0
+    finished_root = False
+
+    def complete(worker: int, strand: _Strand) -> None:
+        """Handle strand completion: expand children or notify the parent."""
+        nonlocal finished_root
+        node = strand.node
+        if strand.kind == "pre":
+            if node.children:
+                # make children stealable (push all but keep one to run)
+                for c in reversed(node.children):
+                    deques[worker].append(_Strand(c, "pre", list(c.pre)))
+            else:
+                _joined(worker, node)
+        else:  # post finished -> the node is done
+            _joined(worker, node)
+
+    def _joined(worker: int, node: TaskNode) -> None:
+        nonlocal finished_root
+        par = parent[id(node)]
+        if par is None:
+            finished_root = True
+            return
+        pending[id(par)] -= 1
+        if pending[id(par)] == 0:
+            # the last-finishing worker runs the join continuation
+            deques[worker].append(_Strand(par, "post", list(par.post)))
+
+    # nodes with children: pre -> children -> post -> joined.  Nodes whose
+    # pre completes with children spawn them; the post strand is enqueued by
+    # the final child via _joined; the post's completion calls _joined on the
+    # node itself, which must then notify *its* parent.  To distinguish the
+    # two _joined calls we only decrement the parent when the node is truly
+    # done: leaf (no children) after pre, or after post otherwise.
+
+    while not finished_root:
+        ticks += 1
+        for w in range(p):
+            if stall[w] > 0:
+                stall[w] -= 1
+                continue
+            strand = current[w]
+            if strand is None:
+                # acquire work: own deque bottom, else steal
+                if deques[w]:
+                    strand = deques[w].pop()
+                else:
+                    victims = [v for v in range(p) if v != w and deques[v]]
+                    if not victims:
+                        continue
+                    victim = rng.choice(victims)
+                    strand = deques[victim].pop(0)  # steal the top (oldest)
+                    steals += 1
+                current[w] = strand
+                cursor[w] = 0
+            # execute one access
+            if cursor[w] < len(strand.trace):
+                block, is_write = strand.trace[cursor[w]]
+                caches[w].access(block * params.B, is_write)
+                cursor[w] += 1
+                stall[w] = params.omega - 1 if is_write else 0
+            if cursor[w] >= len(strand.trace):
+                current[w] = None
+                complete(w, strand)
+
+    for cache in caches:
+        cache.flush()
+    total_reads = sum(c.counter.block_reads for c in caches)
+    total_writes = sum(c.counter.block_writes for c in caches)
+    return WorkStealingResult(
+        p=p,
+        steals=steals,
+        makespan=ticks,
+        total_misses=sum(c.misses for c in caches),
+        total_block_reads=total_reads,
+        total_block_writes=total_writes,
+        per_worker=[c.counter for c in caches],
+    )

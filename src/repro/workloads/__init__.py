@@ -1,0 +1,25 @@
+"""Seeded input generators for sorting experiments."""
+
+from .generators import (
+    adversarial_merge_killer,
+    few_distinct,
+    gaussian_keys,
+    nearly_sorted,
+    random_permutation,
+    reverse_sorted,
+    sorted_run,
+    uniform_ints,
+    zipf_keys,
+)
+
+__all__ = [
+    "adversarial_merge_killer",
+    "few_distinct",
+    "gaussian_keys",
+    "nearly_sorted",
+    "random_permutation",
+    "reverse_sorted",
+    "sorted_run",
+    "uniform_ints",
+    "zipf_keys",
+]

@@ -1,0 +1,120 @@
+"""Seeded workload generators.
+
+The paper's sorting problem (§2) assumes *unique* keys — "a position index can
+always be added to make them unique".  Generators here follow that convention:
+distributions with duplicates are tie-broken into unique keys by composing
+``key * n + position``, preserving the distribution's shape while meeting the
+uniqueness precondition that several algorithms (mergesort's ``lastV`` filter,
+sample-sort splitters) rely on.
+
+Every generator takes an explicit ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def random_permutation(n: int, seed: int = 0) -> list[int]:
+    """A uniformly random permutation of ``0..n-1`` (the default workload)."""
+    rng = random.Random(seed)
+    data = list(range(n))
+    rng.shuffle(data)
+    return data
+
+
+def uniform_ints(n: int, lo: int = 0, hi: int = 1 << 30, seed: int = 0) -> list[int]:
+    """``n`` unique uniform integers in ``[lo, hi)``, shuffled."""
+    if hi - lo < n:
+        raise ValueError(f"range [{lo}, {hi}) too small for {n} unique keys")
+    rng = random.Random(seed)
+    keys = rng.sample(range(lo, hi), n)
+    return keys
+
+
+def sorted_run(n: int, seed: int = 0) -> list[int]:
+    """Already-sorted input (best case for adaptive algorithms)."""
+    return list(range(n))
+
+
+def reverse_sorted(n: int, seed: int = 0) -> list[int]:
+    """Reverse-sorted input."""
+    return list(range(n - 1, -1, -1))
+
+
+def nearly_sorted(n: int, swaps: int | None = None, seed: int = 0) -> list[int]:
+    """Sorted input perturbed by ``swaps`` random transpositions.
+
+    Defaults to ``n // 16`` swaps.
+    """
+    rng = random.Random(seed)
+    data = list(range(n))
+    if swaps is None:
+        swaps = max(1, n // 16)
+    for _ in range(swaps):
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        data[i], data[j] = data[j], data[i]
+    return data
+
+
+def few_distinct(n: int, distinct: int = 8, seed: int = 0) -> list[int]:
+    """``distinct`` key classes, tie-broken to unique keys.
+
+    Key of record at position ``p`` is ``cls * n + p`` so that ordering by the
+    composite key groups the classes (the shape a radix-style distribution
+    sees) while keys remain unique.
+    """
+    rng = random.Random(seed)
+    return [rng.randrange(distinct) * n + p for p in range(n)]
+
+
+def gaussian_keys(n: int, seed: int = 0) -> list[int]:
+    """Clustered (Gaussian) keys, tie-broken to unique integers."""
+    rng = random.Random(seed)
+    raw = sorted(range(n), key=lambda _i: rng.gauss(0.0, 1.0))
+    # raw is a permutation induced by gaussian draws; compose with position
+    return [raw[p] * n + p for p in range(n)]
+
+
+def zipf_keys(n: int, skew: float = 1.1, seed: int = 0) -> list[int]:
+    """Zipf-distributed key classes (heavy duplicates), tie-broken unique."""
+    rng = random.Random(seed)
+    classes = max(2, int(math.sqrt(n)))
+    weights = [1.0 / (i + 1) ** skew for i in range(classes)]
+    total = sum(weights)
+    cum = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cum.append(acc)
+
+    def pick() -> int:
+        x = rng.random()
+        lo, hi = 0, classes - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cum[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return [pick() * n + p for p in range(n)]
+
+
+def adversarial_merge_killer(n: int, l: int, seed: int = 0) -> list[int]:
+    """Input arranged so consecutive merge runs interleave maximally.
+
+    When split into ``l`` contiguous subarrays, every subarray contains keys
+    striped across the whole range, forcing each merge round to touch all
+    runs — the worst case for the phase-1 re-read behaviour of Algorithm 2.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    # striping: subarray j gets keys j, j+l, j+2l, ...
+    out: list[int] = []
+    for j in range(l):
+        out.extend(range(j, n, l))
+    return out[:n]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import AEMachine, CacheSim, CostCounter, MachineParams
+
+
+@pytest.fixture
+def params() -> MachineParams:
+    """The workhorse machine: M=64 records, B=8, omega=8."""
+    return MachineParams(M=64, B=8, omega=8)
+
+
+@pytest.fixture
+def tiny_params() -> MachineParams:
+    """A deliberately cramped machine to stress block boundaries."""
+    return MachineParams(M=16, B=4, omega=4)
+
+
+@pytest.fixture
+def machine(params) -> AEMachine:
+    return AEMachine(params)
+
+
+@pytest.fixture
+def cache(params) -> CacheSim:
+    return CacheSim(params, policy="lru")
+
+
+@pytest.fixture
+def counter() -> CostCounter:
+    return CostCounter()

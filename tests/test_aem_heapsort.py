@@ -1,0 +1,164 @@
+"""Tests for the §4.3.3 priority queue and buffer-tree heapsort."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aem_heapsort import AEMPriorityQueue, aem_heapsort
+from repro.models import AEMachine, MachineParams
+from repro.workloads import random_permutation, reverse_sorted, sorted_run
+
+
+def make_pq(M=64, B=8, omega=8, k=1):
+    machine = AEMachine(MachineParams(M=M, B=B, omega=omega))
+    return AEMPriorityQueue(machine, k=k), machine
+
+
+class TestPriorityQueue:
+    def test_insert_delete_min_basic(self):
+        pq, _ = make_pq()
+        for x in [5, 1, 4, 2, 3]:
+            pq.insert(x)
+        assert [pq.delete_min() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_empty_delete_raises(self):
+        pq, _ = make_pq()
+        with pytest.raises(IndexError):
+            pq.delete_min()
+
+    def test_len(self):
+        pq, _ = make_pq()
+        pq.insert(1)
+        pq.insert(2)
+        pq.delete_min()
+        assert len(pq) == 1
+
+    def test_rejects_bad_k(self):
+        machine = AEMachine(MachineParams(M=64, B=8, omega=8))
+        with pytest.raises(ValueError):
+            AEMPriorityQueue(machine, k=0)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_large_sort_workload(self, k):
+        pq, _ = make_pq(k=k)
+        data = random_permutation(5000, seed=k)
+        for x in data:
+            pq.insert(x)
+        out = [pq.delete_min() for _ in range(len(data))]
+        assert out == sorted(data)
+
+    def test_interleaved_against_reference(self):
+        """Random op mix checked against heapq at every step."""
+        pq, _ = make_pq(M=16, B=4, omega=4, k=1)
+        ref: list = []
+        rng = random.Random(12)
+        keys = iter(random_permutation(5000, seed=12))
+        for _ in range(3000):
+            if ref and rng.random() < 0.45:
+                assert pq.delete_min() == heapq.heappop(ref)
+            else:
+                x = next(keys)
+                pq.insert(x)
+                heapq.heappush(ref, x)
+        while ref:
+            assert pq.delete_min() == heapq.heappop(ref)
+        assert len(pq) == 0
+
+    def test_exercises_all_refill_paths(self):
+        pq, _ = make_pq(M=16, B=4, omega=4, k=2)
+        data = random_permutation(4000, seed=13)
+        for x in data:
+            pq.insert(x)
+        out = [pq.delete_min() for _ in range(len(data))]
+        assert out == sorted(data)
+        assert pq.alpha_refills > 0
+        assert pq.tree_refills > 0
+        assert pq.beta_rebuilds > 0
+
+    def test_beta_overflow_path(self):
+        """Fill beta via inserts landing inside its key range until it
+        exceeds 2kM valid records, forcing the spill into the tree.
+
+        Sparse tree keys give the first leaf (hence beta) a wide key range;
+        dense inserts inside that range then pile up in beta.
+        """
+        pq, _ = make_pq(M=16, B=4, omega=4, k=1)
+        sparse = [x * 1_000_000 for x in range(500)]
+        for x in sparse:
+            pq.insert(x)
+        assert pq.delete_min() == 0  # activates alpha and beta from a leaf
+        assert pq._beta_max is not None and pq._beta_max >= 1_000_000
+        fill = list(range(10, 10 + 3 * pq.beta_capacity))  # inside beta range
+        for x in fill:
+            pq.insert(x)
+        assert pq.beta_overflows > 0
+        expected = sorted(set(sparse) - {0} | set(fill))
+        got = [pq.delete_min() for _ in range(len(pq))]
+        assert got == expected
+
+    @given(
+        ops=st.lists(
+            st.one_of(st.integers(0, 10_000), st.none()), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_against_reference(self, ops):
+        """None = delete-min (when non-empty); ints = insert (deduped)."""
+        pq, _ = make_pq(M=16, B=4, omega=4, k=1)
+        ref: list = []
+        seen = set()
+        for op in ops:
+            if op is None:
+                if ref:
+                    assert pq.delete_min() == heapq.heappop(ref)
+            elif op not in seen:
+                seen.add(op)
+                pq.insert(op)
+                heapq.heappush(ref, op)
+        while ref:
+            assert pq.delete_min() == heapq.heappop(ref)
+
+
+class TestHeapsort:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_sorts(self, k):
+        machine = AEMachine(MachineParams(M=64, B=8, omega=8))
+        data = random_permutation(3000, seed=k)
+        arr = machine.from_list(data)
+        out = aem_heapsort(machine, arr, k=k)
+        assert out.peek_list() == sorted(data)
+
+    @pytest.mark.parametrize("gen", [sorted_run, reverse_sorted])
+    def test_presorted_inputs(self, gen):
+        machine = AEMachine(MachineParams(M=64, B=8, omega=8))
+        data = gen(2000)
+        out = aem_heapsort(machine, machine.from_list(data), k=2)
+        assert out.peek_list() == sorted(data)
+
+    def test_k_reduces_writes(self):
+        n = 8000
+        data = random_permutation(n, seed=14)
+        counts = {}
+        for k in (1, 2):
+            machine = AEMachine(MachineParams(M=64, B=8, omega=8))
+            aem_heapsort(machine, machine.from_list(data), k=k)
+            counts[k] = machine.counter.snapshot()
+        assert counts[2].block_writes < counts[1].block_writes
+
+    def test_same_asymptotics_as_mergesort(self):
+        """§4.3: heapsort matches the other sorts within constant factors."""
+        from repro.core.aem_mergesort import aem_mergesort
+
+        n = 8000
+        data = random_permutation(n, seed=15)
+        machine_h = AEMachine(MachineParams(M=64, B=8, omega=8))
+        aem_heapsort(machine_h, machine_h.from_list(data), k=2)
+        machine_m = AEMachine(MachineParams(M=64, B=8, omega=8))
+        aem_mergesort(machine_m, machine_m.from_list(data), k=2)
+        ratio_w = machine_h.counter.block_writes / machine_m.counter.block_writes
+        ratio_r = machine_h.counter.block_reads / machine_m.counter.block_reads
+        assert ratio_w < 12, "buffer-tree write constant blew up"
+        assert ratio_r < 12, "buffer-tree read constant blew up"

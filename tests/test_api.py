@@ -1,0 +1,58 @@
+"""Tests for the high-level sort façade."""
+
+import pytest
+
+from repro import MachineParams, sort_external, sort_ram
+from repro.workloads import random_permutation
+
+PARAMS = MachineParams(M=64, B=8, omega=8)
+
+
+class TestSortExternal:
+    @pytest.mark.parametrize("alg", ["mergesort", "samplesort", "heapsort", "selection"])
+    def test_algorithms(self, alg):
+        data = random_permutation(800, seed=1)
+        rep = sort_external(data, PARAMS, algorithm=alg, k=2)
+        assert rep.is_sorted()
+        assert rep.output == sorted(data)
+        assert rep.n == 800
+        assert rep.reads > 0 and rep.writes > 0
+
+    def test_default_k_from_ktuning(self):
+        rep = sort_external(random_permutation(500, seed=2), PARAMS)
+        assert rep.extras["k"] >= 1
+        assert f"k={rep.extras['k']}" in rep.algorithm
+
+    def test_cost_uses_machine_omega(self):
+        rep = sort_external(random_permutation(300, seed=3), PARAMS, k=1)
+        assert rep.cost() == rep.reads + 8 * rep.writes
+        assert rep.cost(omega=2) == rep.reads + 2 * rep.writes
+
+    def test_memory_high_water_reported(self):
+        rep = sort_external(random_permutation(1000, seed=4), PARAMS, algorithm="mergesort", k=2)
+        assert 0 < rep.memory_high_water <= PARAMS.M + 2 * PARAMS.B
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            sort_external([1], PARAMS, algorithm="bogosort")
+
+
+class TestSortRam:
+    @pytest.mark.parametrize(
+        "alg", ["bst-rb", "bst-treap", "bst-avl", "bst-avl-naive", "quicksort", "mergesort", "heapsort"]
+    )
+    def test_algorithms(self, alg):
+        data = random_permutation(400, seed=5)
+        rep = sort_ram(data, algorithm=alg)
+        assert rep.output == sorted(data)
+        assert rep.reads > 0
+
+    def test_cost_requires_omega_without_params(self):
+        rep = sort_ram([2, 1])
+        with pytest.raises(ValueError):
+            rep.cost()
+        assert rep.cost(omega=4) > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            sort_ram([1], algorithm="sleepsort")

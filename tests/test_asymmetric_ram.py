@@ -1,0 +1,80 @@
+"""Unit tests for the Asymmetric RAM instrumented array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import CostCounter, InstrumentedArray
+
+
+class TestCharging:
+    def test_read_charges(self):
+        a = InstrumentedArray([1, 2, 3])
+        assert a[1] == 2
+        assert a.counter.element_reads == 1
+        assert a.counter.element_writes == 0
+
+    def test_write_charges(self):
+        a = InstrumentedArray([1, 2, 3])
+        a[0] = 9
+        assert a.counter.element_writes == 1
+        assert a.peek_list() == [9, 2, 3]
+
+    def test_init_uncharged_by_default(self):
+        a = InstrumentedArray(range(10))
+        assert a.counter.element_writes == 0
+
+    def test_init_charged_mode(self):
+        a = InstrumentedArray(range(10), charge_init=True)
+        assert a.counter.element_writes == 10
+
+    def test_iteration_charges_per_element(self):
+        a = InstrumentedArray([1, 2, 3])
+        assert list(a) == [1, 2, 3]
+        assert a.counter.element_reads == 3
+
+    def test_swap_costs_two_reads_two_writes(self):
+        a = InstrumentedArray([1, 2])
+        a.swap(0, 1)
+        assert a.peek_list() == [2, 1]
+        assert a.counter.element_reads == 2
+        assert a.counter.element_writes == 2
+
+    def test_shared_counter(self):
+        c = CostCounter()
+        a = InstrumentedArray([1], c)
+        b = InstrumentedArray([2], c)
+        a[0], b[0]
+        assert c.element_reads == 2
+
+
+class TestInterface:
+    def test_len(self):
+        assert len(InstrumentedArray(range(5))) == 5
+
+    def test_empty_factory(self):
+        a = InstrumentedArray.empty(4)
+        assert a.peek_list() == [None] * 4
+        assert a.counter.element_writes == 0
+
+    def test_no_slicing(self):
+        a = InstrumentedArray(range(4))
+        with pytest.raises(TypeError):
+            a[0:2]
+        with pytest.raises(TypeError):
+            a[0:2] = [1, 2]
+
+    def test_peek_is_uncharged_copy(self):
+        a = InstrumentedArray([1, 2])
+        snapshot = a.peek_list()
+        snapshot[0] = 99
+        assert a.counter.element_reads == 0
+        assert a.peek_list() == [1, 2]
+
+    @given(st.lists(st.integers(), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data):
+        a = InstrumentedArray(data)
+        out = [a[i] for i in range(len(a))]
+        assert out == data
+        assert a.counter.element_reads == len(data)

@@ -1,0 +1,46 @@
+"""Tests for the classic (k = 1) baseline wrappers."""
+
+import pytest
+
+from repro.baselines import (
+    classic_em_heapsort,
+    classic_em_mergesort,
+    classic_em_samplesort,
+)
+from repro.core.aem_mergesort import aem_mergesort
+from repro.models import AEMachine, MachineParams
+from repro.workloads import random_permutation
+
+PARAMS = MachineParams(M=64, B=8, omega=8)
+
+
+@pytest.mark.parametrize(
+    "baseline",
+    [classic_em_mergesort, classic_em_samplesort, classic_em_heapsort],
+)
+def test_baselines_sort(baseline):
+    machine = AEMachine(PARAMS)
+    data = random_permutation(1500, seed=1)
+    out = baseline(machine, machine.from_list(data))
+    assert out.peek_list() == sorted(data)
+
+
+def test_classic_mergesort_is_exactly_k1():
+    """§4.1: 'the new algorithm will perform exactly the same as the classic
+    EM mergesort' at k = 1 — identical transfer counts."""
+    data = random_permutation(3000, seed=2)
+    m1 = AEMachine(PARAMS)
+    classic_em_mergesort(m1, m1.from_list(data))
+    m2 = AEMachine(PARAMS)
+    aem_mergesort(m2, m2.from_list(data), k=1)
+    assert m1.counter.as_dict() == m2.counter.as_dict()
+
+
+def test_baseline_write_counts_pay_full_omega():
+    """The classic algorithms' write counts scale with the level count —
+    the quantity the asymmetric variants shrink."""
+    data = random_permutation(8000, seed=3)
+    machine = AEMachine(PARAMS)
+    classic_em_mergesort(machine, machine.from_list(data))
+    # 3 levels at n=8000, M/B=8: ~1000 blocks x 3
+    assert machine.counter.block_writes >= 3 * (8000 // 8)

@@ -1,0 +1,171 @@
+"""Tests for CO kernels: scans, merges, prefix sums, transposes, mergesort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cacheoblivious.kernels import co_merge, co_prefix_sum, co_scan_copy
+from repro.cacheoblivious.mergesort import co_mergesort
+from repro.cacheoblivious.transpose import bucket_transpose, co_transpose
+from repro.models import CacheSim, MachineParams
+from repro.workloads import random_permutation
+
+
+def make_cache(M=64, B=8, omega=4) -> CacheSim:
+    return CacheSim(MachineParams(M=M, B=B, omega=omega), policy="lru")
+
+
+class TestKernels:
+    def test_scan_copy(self):
+        c = make_cache()
+        src = c.array([1, 2, 3])
+        dst = c.array(3)
+        co_scan_copy(src, dst)
+        assert dst.peek_list() == [1, 2, 3]
+
+    def test_scan_copy_length_mismatch(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            co_scan_copy(c.array(3), c.array(4))
+
+    def test_scan_io_linear(self):
+        c = make_cache(M=16, B=4)
+        src = c.array(list(range(64)))
+        dst = c.array(64)
+        co_scan_copy(src, dst)
+        c.flush()
+        # two arrays, one pass each: ~2 * 64/4 reads, 64/4 write-backs
+        assert c.counter.block_reads <= 36
+        assert c.counter.block_writes <= 20
+
+    @given(
+        a=st.lists(st.integers(), max_size=60),
+        b=st.lists(st.integers(), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_property(self, a, b):
+        a, b = sorted(a), sorted(b)
+        c = make_cache()
+        out = c.array(len(a) + len(b))
+        co_merge(c.array(a) if a else c.array(0), c.array(b) if b else c.array(0), out)
+        assert out.peek_list() == sorted(a + b)
+
+    def test_merge_length_check(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            co_merge(c.array([1]), c.array([2]), c.array(3))
+
+    @given(st.lists(st.integers(0, 100), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_sum_property(self, vals):
+        c = make_cache()
+        arr = c.array(list(vals))
+        total = co_prefix_sum(arr)
+        assert total == sum(vals)
+        expected = []
+        acc = 0
+        for v in vals:
+            expected.append(acc)
+            acc += v
+        assert arr.peek_list() == expected
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (2, 3), (8, 8), (5, 13), (16, 4)])
+    def test_transpose_correct(self, rows, cols):
+        c = make_cache()
+        src = c.array(list(range(rows * cols)))
+        dst = c.array(rows * cols)
+        co_transpose(src, dst, rows, cols)
+        got = dst.peek_list()
+        for r in range(rows):
+            for col in range(cols):
+                assert got[col * rows + r] == r * cols + col
+
+    def test_transpose_size_check(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            co_transpose(c.array(5), c.array(6), 2, 3)
+
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, rows, cols):
+        c = make_cache()
+        data = list(range(rows * cols))
+        a = c.array(data)
+        b = c.array(rows * cols)
+        back = c.array(rows * cols)
+        co_transpose(a, b, rows, cols)
+        co_transpose(b, back, cols, rows)
+        assert back.peek_list() == data
+
+    def test_transpose_io_near_linear(self):
+        """Cache-oblivious recursion: I/O ~ nm/B, not nm (tall cache)."""
+        c = make_cache(M=256, B=16)
+        n = 32
+        src = c.array(list(range(n * n)))
+        dst = c.array(n * n)
+        co_transpose(src, dst, n, n)
+        c.flush()
+        linear = 2 * n * n / 16
+        assert c.counter.block_reads <= 3 * linear
+
+    def test_bucket_transpose_moves_segments(self):
+        c = make_cache()
+        # 2 rows x 2 buckets; row-major segments in src
+        src = c.array([1, 5, 2, 6])  # row0: [1 | 5], row1: [2 | 6]
+        dst = c.array(4)
+        seg_start = c.array([0, 1, 2, 3])
+        seg_len = c.array([1, 1, 1, 1])
+        dst_start = c.array([0, 2, 1, 3])  # bucket-major destinations
+        bucket_transpose(src, dst, seg_start, seg_len, dst_start, 2, 2)
+        assert dst.peek_list() == [1, 2, 5, 6]
+
+    def test_bucket_transpose_ragged(self):
+        c = make_cache()
+        # row0 = [1,2,3 | 9]; row1 = [4 | 7,8]
+        src = c.array([1, 2, 3, 9, 4, 7, 8])
+        dst = c.array(7)
+        seg_start = c.array([0, 3, 4, 5])
+        seg_len = c.array([3, 1, 1, 2])
+        dst_start = c.array([0, 4, 3, 5])
+        bucket_transpose(src, dst, seg_start, seg_len, dst_start, 2, 2)
+        assert dst.peek_list() == [1, 2, 3, 4, 9, 7, 8]
+
+
+class TestCOMergesort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 15, 16, 17, 300])
+    def test_sizes(self, n):
+        c = make_cache()
+        data = random_permutation(n, seed=n)
+        arr = c.array(data)
+        co_mergesort(c, arr)
+        assert arr.peek_list() == sorted(data)
+
+    @given(st.lists(st.integers(), unique=True, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, data):
+        c = make_cache()
+        arr = c.array(list(data))
+        co_mergesort(c, arr)
+        assert arr.peek_list() == sorted(data)
+
+    def test_sorts_views_in_place(self):
+        c = make_cache()
+        arr = c.array([9, 8, 7, 1, 2, 3])
+        co_mergesort(c, arr.view(0, 3))
+        assert arr.peek_list() == [7, 8, 9, 1, 2, 3]
+
+    def test_io_n_log_n_over_b(self):
+        c = make_cache(M=64, B=8)
+        n = 2048
+        arr = c.array(random_permutation(n, seed=1))
+        co_mergesort(c, arr)
+        c.flush()
+        import math
+
+        # each of the log2(n/base) levels moves every block O(1) times
+        levels = math.log2(n / 16)
+        bound = (n / 8) * levels * 4
+        assert c.counter.block_reads < bound
+        assert c.counter.block_writes < bound

@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.ids == [] and not args.quick
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.algorithm == "mergesort" and args.n == 10_000
+
+    def test_sort_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--algorithm", "bogosort"])
+
+
+class TestCommands:
+    def test_experiments_quick_single(self, capsys):
+        assert main(["experiments", "--quick", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 4.2" in out
+        assert "[E3:" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_experiments_case_insensitive(self, capsys):
+        assert main(["experiments", "--quick", "e3"]) == 0
+
+    def test_sort_command(self, capsys):
+        assert main(["sort", "--n", "500", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aem-mergesort(k=2)" in out
+        assert "block writes" in out
+
+    def test_sort_all_algorithms(self, capsys):
+        for alg in ("samplesort", "heapsort", "selection"):
+            assert main(["sort", "--n", "300", "--algorithm", alg, "--k", "1"]) == 0
+
+    def test_tune_command(self, capsys):
+        assert main(["tune", "--n", "50000", "--omega", "16", "--k-max", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted-best k" in out

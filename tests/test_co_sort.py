@@ -1,0 +1,119 @@
+"""Tests for the §5.1 / Figure 1 cache-oblivious sort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.co_sort import co_sort
+from repro.models import CacheSim, MachineParams
+from repro.models.counters import PhaseRecorder
+from repro.workloads import (
+    few_distinct,
+    random_permutation,
+    reverse_sorted,
+    sorted_run,
+)
+
+
+def run(data, M=256, B=16, omega=4, omega_alg=None):
+    cache = CacheSim(MachineParams(M=M, B=B, omega=omega), policy="lru")
+    arr = cache.array(list(data))
+    co_sort(cache, arr, omega=omega_alg if omega_alg is not None else omega)
+    cache.flush()
+    return arr.peek_list(), cache
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("omega_alg", [1, 2, 8])
+    @pytest.mark.parametrize("n", [10, 100, 1000, 5000])
+    def test_random(self, omega_alg, n):
+        data = random_permutation(n, seed=n + omega_alg)
+        out, _ = run(data, omega_alg=omega_alg)
+        assert out == sorted(data)
+
+    @pytest.mark.parametrize("gen", [sorted_run, reverse_sorted, few_distinct])
+    def test_workloads(self, gen):
+        data = gen(2000)
+        out, _ = run(data, omega_alg=4)
+        assert out == sorted(data)
+
+    def test_base_case_direct(self):
+        data = [3, 1, 2]
+        out, _ = run(data)
+        assert out == [1, 2, 3]
+
+    def test_rejects_bad_omega(self):
+        cache = CacheSim(MachineParams(M=64, B=8, omega=4))
+        arr = cache.array([1, 2])
+        with pytest.raises(ValueError):
+            co_sort(cache, arr, omega=0)
+
+    def test_sorts_views(self):
+        cache = CacheSim(MachineParams(M=256, B=16, omega=4))
+        data = random_permutation(600, seed=3)
+        arr = cache.array(data + [0, -1])
+        co_sort(cache, arr.view(0, 600), omega=2)
+        assert arr.peek_list()[:600] == sorted(data)
+        assert arr.peek_list()[600:] == [0, -1]
+
+    @given(
+        data=st.lists(st.integers(), unique=True, max_size=300),
+        omega_alg=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, data, omega_alg):
+        out, _ = run(data, M=64, B=8, omega_alg=omega_alg)
+        assert out == sorted(data)
+
+
+class TestTheorem51Shape:
+    def test_asymmetric_variant_writes_less(self):
+        n = 8192
+        data = random_permutation(n, seed=5)
+        _, classic = run(data, omega=8, omega_alg=1)
+        _, asym = run(data, omega=8, omega_alg=8)
+        assert asym.counter.block_writes < classic.counter.block_writes
+
+    def test_omega_one_skips_sub_partition(self):
+        """omega=1 must make step (d) a plain copy (no read amplification),
+        while omega=8's step (d) re-scans every bucket ~omega times."""
+        n = 4096
+        data = random_permutation(n, seed=6)
+
+        def stage_d(omega_alg):
+            cache = CacheSim(MachineParams(M=256, B=16, omega=8), policy="lru")
+            arr = cache.array(list(data))
+            rec = PhaseRecorder(cache.counter)
+            co_sort(cache, arr, omega=omega_alg, recorder=rec)
+            assert arr.peek_list() == sorted(data)
+            return next(p.delta for p in rec.phases if p.name.startswith("(d) "))
+
+        d1 = stage_d(1)
+        d8 = stage_d(8)
+        assert d8.block_reads > 3 * d1.block_reads
+
+    def test_phase_recorder_covers_stages(self):
+        cache = CacheSim(MachineParams(M=256, B=16, omega=8), policy="lru")
+        data = random_permutation(4096, seed=7)
+        arr = cache.array(data)
+        rec = PhaseRecorder(cache.counter)
+        co_sort(cache, arr, omega=8, recorder=rec)
+        assert arr.peek_list() == sorted(data)
+        names = [p.name for p in rec.phases]
+        assert names == [
+            "(a) sort subarrays",
+            "(b) sample + splitters",
+            "(c) counts + transpose",
+            "(d) sub-partition",
+            "(d') sort sub-buckets",
+        ]
+        # step (d) is the read-amplified stage
+        d = rec.phases[3].delta
+        assert d.block_reads > 4 * d.block_writes
+
+    def test_deterministic(self):
+        data = random_permutation(2048, seed=8)
+        out1, c1 = run(data, omega_alg=4)
+        out2, c2 = run(data, omega_alg=4)
+        assert out1 == out2
+        assert c1.counter.as_dict() == c2.counter.as_dict()

@@ -1,0 +1,117 @@
+"""Unit tests for the cost-accounting primitives."""
+
+import pytest
+
+from repro.models.counters import CostCounter, PhaseRecorder
+
+
+class TestCostCounter:
+    def test_starts_at_zero(self):
+        c = CostCounter()
+        assert c.element_reads == 0
+        assert c.element_writes == 0
+        assert c.block_reads == 0
+        assert c.block_writes == 0
+
+    def test_charges_accumulate(self):
+        c = CostCounter()
+        c.charge_read(3)
+        c.charge_write()
+        c.charge_block_read(2)
+        c.charge_block_write(5)
+        assert (c.element_reads, c.element_writes) == (3, 1)
+        assert (c.block_reads, c.block_writes) == (2, 5)
+
+    def test_default_charge_is_one(self):
+        c = CostCounter()
+        c.charge_read()
+        c.charge_block_write()
+        assert c.element_reads == 1
+        assert c.block_writes == 1
+
+    def test_element_cost_weights_writes(self):
+        c = CostCounter(element_reads=10, element_writes=3)
+        assert c.element_cost(omega=5) == 10 + 5 * 3
+
+    def test_block_cost_weights_writes(self):
+        c = CostCounter(block_reads=7, block_writes=2)
+        assert c.block_cost(omega=8) == 7 + 16
+
+    def test_block_cost_omega_one_is_total_io(self):
+        c = CostCounter(block_reads=7, block_writes=2)
+        assert c.block_cost(1) == c.total_io() == 9
+
+    def test_snapshot_is_independent(self):
+        c = CostCounter()
+        snap = c.snapshot()
+        c.charge_read(5)
+        assert snap.element_reads == 0
+        assert c.element_reads == 5
+
+    def test_subtraction_gives_delta(self):
+        c = CostCounter()
+        c.charge_block_read(4)
+        before = c.snapshot()
+        c.charge_block_read(6)
+        c.charge_block_write(2)
+        delta = c - before
+        assert delta.block_reads == 6
+        assert delta.block_writes == 2
+
+    def test_addition(self):
+        a = CostCounter(1, 2, 3, 4)
+        b = CostCounter(10, 20, 30, 40)
+        s = a + b
+        assert (s.element_reads, s.element_writes, s.block_reads, s.block_writes) == (
+            11,
+            22,
+            33,
+            44,
+        )
+
+    def test_reset(self):
+        c = CostCounter(1, 2, 3, 4)
+        c.reset()
+        assert c.total_io() == 0
+        assert c.element_cost(10) == 0
+
+    def test_as_dict_round_trip(self):
+        c = CostCounter(1, 2, 3, 4)
+        d = c.as_dict()
+        assert d == {
+            "element_reads": 1,
+            "element_writes": 2,
+            "block_reads": 3,
+            "block_writes": 4,
+        }
+
+
+class TestPhaseRecorder:
+    def test_attributes_deltas_to_phases(self):
+        c = CostCounter()
+        rec = PhaseRecorder(c)
+        with rec.phase("one"):
+            c.charge_block_read(5)
+        with rec.phase("two"):
+            c.charge_block_write(3)
+        assert [p.name for p in rec.phases] == ["one", "two"]
+        assert rec.phases[0].delta.block_reads == 5
+        assert rec.phases[0].delta.block_writes == 0
+        assert rec.phases[1].delta.block_writes == 3
+
+    def test_totals_sum_phases(self):
+        c = CostCounter()
+        rec = PhaseRecorder(c)
+        with rec.phase("a"):
+            c.charge_block_read(2)
+        with rec.phase("b"):
+            c.charge_block_read(3)
+        assert rec.totals().block_reads == 5
+
+    def test_charges_outside_phases_not_attributed(self):
+        c = CostCounter()
+        rec = PhaseRecorder(c)
+        c.charge_block_read(9)
+        with rec.phase("a"):
+            pass
+        assert rec.totals().block_reads == 0

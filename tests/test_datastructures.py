@@ -1,0 +1,195 @@
+"""Tests for the instrumented RAM-model data structures.
+
+Covers structural invariants, ordering, duplicate rejection, and — the point
+of §3 — the *write-count asymptotics* that separate the trees.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import AVLTree, InstrumentedBinaryHeap, RedBlackTree, Treap
+from repro.models import CostCounter
+
+TREES = {"rb": RedBlackTree, "avl": AVLTree, "treap": Treap}
+
+
+@pytest.mark.parametrize("name", list(TREES))
+class TestTreeCommon:
+    def make(self, name):
+        return TREES[name]()
+
+    def test_insert_and_inorder(self, name):
+        t = self.make(name)
+        keys = [5, 2, 8, 1, 9, 3, 7, 4, 6, 0]
+        for k in keys:
+            t.insert(k)
+        assert list(t.keys_in_order()) == sorted(keys)
+        assert len(t) == 10
+
+    def test_invariants_after_sorted_inserts(self, name):
+        t = self.make(name)
+        for k in range(64):
+            t.insert(k)
+        t.check_invariants()
+        assert list(t.keys_in_order()) == list(range(64))
+
+    def test_invariants_after_reverse_inserts(self, name):
+        t = self.make(name)
+        for k in range(63, -1, -1):
+            t.insert(k)
+        t.check_invariants()
+
+    def test_duplicate_rejected(self, name):
+        t = self.make(name)
+        t.insert(1)
+        with pytest.raises(ValueError, match="duplicate"):
+            t.insert(1)
+
+    def test_search(self, name):
+        t = self.make(name)
+        for k in [4, 2, 6]:
+            t.insert(k, value=k * 10)
+        assert t.search(4) == 40
+        assert t.search(5) is None
+
+    @given(st.lists(st.integers(), unique=True, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_property(self, name, keys):
+        t = TREES[name]()
+        for k in keys:
+            t.insert(k)
+        assert list(t.keys_in_order()) == sorted(keys)
+        t.check_invariants()
+
+    def test_reads_logarithmic(self, name):
+        """Per-insert reads should grow like log n, not n."""
+        rng = random.Random(1)
+        costs = {}
+        for n in (256, 4096):
+            t = TREES[name]()
+            keys = list(range(n))
+            rng.shuffle(keys)
+            for k in keys:
+                t.insert(k)
+            costs[n] = t.counter.element_reads / n
+        # log(4096)/log(256) = 1.5; allow generous slack but exclude linear
+        assert costs[4096] / costs[256] < 3.0
+
+
+class TestWriteAsymptotics:
+    """The §3 separation: RB/treap O(1) amortized writes, AVL Θ(log n)."""
+
+    @staticmethod
+    def writes_per_insert(tree_cls, n: int, seed: int = 7) -> float:
+        rng = random.Random(seed)
+        keys = list(range(n))
+        rng.shuffle(keys)
+        t = tree_cls()
+        for k in keys:
+            t.insert(k)
+        return t.counter.element_writes / n
+
+    def test_rb_writes_amortized_constant(self):
+        small = self.writes_per_insert(RedBlackTree, 1000)
+        big = self.writes_per_insert(RedBlackTree, 16000)
+        assert big < small * 1.25  # flat in n
+
+    def test_treap_writes_expected_constant(self):
+        small = self.writes_per_insert(Treap, 1000)
+        big = self.writes_per_insert(Treap, 16000)
+        assert big < small * 1.25
+
+    def test_naive_avl_writes_grow_with_log_n(self):
+        naive = lambda: AVLTree(naive_heights=True)
+        small = self.writes_per_insert(naive, 1000)
+        big = self.writes_per_insert(naive, 16000)
+        assert big > small * 1.15  # ~log factor growth
+
+    def test_change_only_avl_writes_flat(self):
+        """Measured finding (E13): change-only height writes are amortized
+        O(1) per random insert — even AVL becomes write-efficient."""
+        small = self.writes_per_insert(AVLTree, 1000)
+        big = self.writes_per_insert(AVLTree, 16000)
+        assert big < small * 1.25
+
+    def test_rb_beats_naive_avl_on_writes(self):
+        n = 8000
+        naive = lambda: AVLTree(naive_heights=True)
+        assert self.writes_per_insert(RedBlackTree, n) < self.writes_per_insert(
+            naive, n
+        )
+
+    def test_rb_rotations_bounded(self):
+        t = RedBlackTree()
+        for k in range(4096):
+            t.insert(k)
+        assert t.rotations <= 2 * 4096  # <= 2 rotations/insert worst case
+
+    def test_treap_rotations_expected_constant(self):
+        t = Treap(seed=3)
+        keys = list(range(8192))
+        random.Random(5).shuffle(keys)
+        for k in keys:
+            t.insert(k)
+        assert t.rotations / 8192 < 4.0
+
+
+class TestBinaryHeap:
+    def test_push_pop_sorted(self):
+        h = InstrumentedBinaryHeap()
+        data = [5, 1, 4, 2, 3]
+        for x in data:
+            h.push(x)
+        assert [h.pop_min() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_peek(self):
+        h = InstrumentedBinaryHeap()
+        h.push(2)
+        h.push(1)
+        assert h.peek_min() == 1
+        assert len(h) == 2
+
+    def test_empty_pop_raises(self):
+        h = InstrumentedBinaryHeap()
+        with pytest.raises(IndexError):
+            h.pop_min()
+        with pytest.raises(IndexError):
+            h.peek_min()
+
+    def test_invariant_maintained(self):
+        h = InstrumentedBinaryHeap()
+        rng = random.Random(2)
+        for _ in range(500):
+            if h and rng.random() < 0.4:
+                h.pop_min()
+            else:
+                h.push(rng.random())
+            h.check_invariants()
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_heapsort_property(self, data):
+        h = InstrumentedBinaryHeap()
+        for x in data:
+            h.push(x)
+        out = [h.pop_min() for _ in range(len(data))]
+        assert out == sorted(data)
+
+    def test_writes_scale_n_log_n(self):
+        def writes(n: int) -> int:
+            h = InstrumentedBinaryHeap()
+            keys = list(range(n))
+            random.Random(3).shuffle(keys)
+            for k in keys:
+                h.push(k)
+            for _ in range(n):
+                h.pop_min()
+            return h.counter.element_writes
+
+        w1, w2 = writes(1000), writes(8000)
+        # n log n scaling: ratio ~ 8 * log(8000)/log(1000) ~ 10.4; >> linear 8
+        assert w2 / w1 > 8.5

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run and print its tables.
+
+Examples are part of the public surface (README links them); these tests
+import each as a module and call ``main`` so a breaking API change fails CI
+rather than a user.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_directory_contents():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart",
+        "nvm_database_sort",
+        "event_queue",
+        "cache_oblivious_pipeline",
+        "reproduce_paper",
+    } <= names
+
+
+def test_quickstart(capsys):
+    load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "External-memory sorts" in out
+    assert "cheaper than classic" in out
+
+
+def test_event_queue(capsys):
+    load("event_queue").main()
+    out = capsys.readouterr().out
+    assert "Buffer-tree priority queue" in out
+    assert "k=4" in out
+
+
+@pytest.mark.slow
+def test_nvm_database_sort(capsys):
+    load("nvm_database_sort").main()
+    out = capsys.readouterr().out
+    assert "wear saved" in out
+
+
+def test_cache_oblivious_pipeline(capsys):
+    load("cache_oblivious_pipeline").main()
+    out = capsys.readouterr().out
+    assert "policy=lru" in out and "policy=rwlru" in out
+
+
+def test_reproduce_paper_quick_subset(capsys):
+    load("reproduce_paper").main(["--quick", "E3"])
+    out = capsys.readouterr().out
+    assert "Lemma 4.2" in out

@@ -1,0 +1,160 @@
+"""Integration tests: every experiment's quick run must uphold its claim.
+
+These are the executable counterparts of the per-experiment success criteria
+in DESIGN.md §3 — if a code change breaks an inequality the paper proves,
+one of these fails.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    e01_pram_sort,
+    e02_aem_mergesort,
+    e03_selection_base,
+    e05_buffer_tree,
+    e06_three_sorts,
+    e07_rwlru,
+    e08_co_sort,
+    e09_fft,
+    e10_em_matmul,
+    e11_co_matmul,
+    e12_schedulers,
+    e13_ram_sort,
+    e14_co_sort_stages,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_runs_and_returns_rows(name):
+    rows = ALL_EXPERIMENTS[name].run(quick=True)
+    assert rows, f"{name} returned no rows"
+    assert all(isinstance(r, dict) for r in rows)
+
+
+def test_e01_theorem32_ratios():
+    rows = e01_pram_sort.run(quick=True)
+    for r in rows:
+        assert r["reads/(n log n)"] < 6.0
+        assert r["writes/n"] < 40.0
+
+
+def test_e02_theorem43_bounds_hold():
+    rows = e02_aem_mergesort.run(quick=True)
+    assert all(r["reads<=Thm4.3"] for r in rows)
+    assert all(r["writes<=Thm4.3"] for r in rows)
+
+
+def test_e02_omega_sweep_improvement_grows():
+    rows = e02_aem_mergesort.run_omega_sweep(quick=True)
+    imps = [r["improvement"] for r in rows]
+    assert imps[-1] >= imps[0]  # higher omega, larger (or equal) win
+    assert all(i >= 1.0 - 1e-9 for i in imps)  # never worse than classic
+
+
+def test_e03_lemma42_exact():
+    rows = e03_selection_base.run(quick=True)
+    assert all(r["reads_ok"] for r in rows)
+    assert all(r["writes_exact"] for r in rows)
+
+
+def test_e05_amortized_ratios_bounded():
+    rows = e05_buffer_tree.run(quick=True)
+    for r in rows:
+        assert r["reads/pred"] < 40
+        assert r["writes/pred"] < 40
+
+
+def test_e06_asym_beats_classic_at_high_omega():
+    rows = e06_three_sorts.run(quick=True)  # omega=8
+    for r in rows:
+        assert r["asym_W"] <= r["classic_W"], r["algorithm"]
+        assert r["improvement"] >= 0.95, r["algorithm"]
+
+
+def test_e07_lemma21_holds_everywhere():
+    rows = e07_rwlru.run(quick=True)
+    assert all(r["holds"] for r in rows)
+
+
+def test_e08_theorem51_write_advantage():
+    rows = e08_co_sort.run(quick=True)
+    for r in rows:
+        assert r["asym_W"] < r["classic_W"]
+
+
+def test_e09_fft_counts_sane():
+    rows = e09_fft.run(quick=True)
+    for r in rows:
+        assert r["asym_R"] > 0 and r["std_R"] > 0
+        # the asymmetric variant never reads catastrophically more than
+        # omega x the standard (§5.2's deliberate trade)
+        assert r["asym_R"] < 4 * r["omega"] * r["std_R"]
+
+
+def test_e10_theorem52_flat_ratios():
+    rows = e10_em_matmul.run(quick=True)
+    for r in rows:
+        assert 0.5 < r["reads/pred"] < 8
+        assert 0.5 < r["writes/pred"] < 4
+
+
+def test_e11_write_ratio_at_least_one():
+    rows = e11_co_matmul.run(quick=True)
+    for r in rows:
+        assert r["W_ratio"] >= 0.9  # asym never writes meaningfully more
+
+
+def test_e12_scheduler_bounds_hold():
+    rows = e12_schedulers.run(quick=True)
+    assert all(r["holds"] for r in rows)
+
+
+def test_e13_bst_flat_classics_grow():
+    rows = e13_ram_sort.run(quick=True)
+    by_alg = {}
+    for r in rows:
+        by_alg.setdefault(r["algorithm"], []).append(r["writes/n"])
+    assert by_alg["bst-rb"][-1] < by_alg["bst-rb"][0] * 1.25
+    assert by_alg["heapsort"][-1] > by_alg["heapsort"][0] * 1.1
+
+
+def test_e14_stage_read_amplification():
+    rows = e14_co_sort_stages.run(quick=True)
+    d_stage = next(r for r in rows if r["stage"].startswith("(d) "))
+    total = next(r for r in rows if r["stage"] == "TOTAL")
+    assert d_stage["R/W"] > total["R/W"]  # (d) is the read-amplified stage
+
+
+def test_e15_parallel_speedup():
+    from repro.experiments import e15_parallel_samplesort
+
+    rows = e15_parallel_samplesort.run(quick=True)
+    for r in rows:
+        assert r["speedup"] > 1.5
+        assert r["speedup"] <= r["p=n/M"] + 1e-9  # can't beat p
+
+
+def test_e16_av_bound_bracket():
+    from repro.experiments import e16_lower_bound
+
+    rows = e16_lower_bound.run(quick=True)
+    assert all(r["sane"] for r in rows)
+    # nothing may beat the lower bound (cost-accounting leak detector)
+    assert all(r["ratio"] > 0.3 for r in rows)
+
+
+def test_e17_ablation_outcomes():
+    from repro.experiments import e17_ablations
+
+    rows = e17_ablations.run(quick=True)
+    literal = next(
+        r
+        for r in rows
+        if r["ablation"] == "round_threshold" and r["setting"] == "paper-literal"
+    )
+    assert "stranded" in literal["outcome"]
+    slack_tries = [r["value"] for r in rows if r["ablation"] == "bucket_slack"]
+    assert slack_tries == sorted(slack_tries, reverse=True)
+    sample_writes = [r["value"] for r in rows if r["ablation"] == "sample_factor"]
+    assert sample_writes == sorted(sample_writes)  # more sampling, more I/O

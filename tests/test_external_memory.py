@@ -1,0 +1,200 @@
+"""Unit tests for the AEM machine: transfers, streaming, structural ops."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import AEMachine, MachineParams, MemoryBudgetExceeded, MemoryGuard
+from repro.models.external_memory import BlockWriter
+
+
+class TestTransfers:
+    def test_from_list_partitions_into_blocks(self, machine):
+        arr = machine.from_list(range(20))
+        assert arr.length == 20
+        assert arr.num_blocks == 3  # B=8: 8+8+4
+        assert machine.counter.block_reads == 0  # loading input is free
+
+    def test_from_list_charged_mode(self, machine):
+        machine.from_list(range(20), charge=True)
+        assert machine.counter.block_writes == 3
+
+    def test_read_block_charges_and_copies(self, machine):
+        arr = machine.from_list(range(16))
+        blk = machine.read_block(arr, 0)
+        assert blk == list(range(8))
+        assert machine.counter.block_reads == 1
+        blk[0] = 999  # mutating the copy must not touch secondary memory
+        assert machine.read_block(arr, 0)[0] == 0
+
+    def test_read_block_out_of_range(self, machine):
+        arr = machine.from_list(range(8))
+        with pytest.raises(IndexError):
+            machine.read_block(arr, 5)
+
+    def test_write_block_appends(self, machine):
+        arr = machine.allocate()
+        machine.write_block(arr, 0, [1, 2, 3])
+        assert arr.length == 3
+        assert machine.counter.block_writes == 1
+
+    def test_write_block_overwrites_in_place(self, machine):
+        arr = machine.from_list(range(8))
+        machine.write_block(arr, 0, [9] * 8)
+        assert machine.read_block(arr, 0) == [9] * 8
+        assert arr.length == 8
+
+    def test_write_block_rejects_oversized(self, machine):
+        arr = machine.allocate()
+        with pytest.raises(ValueError, match="exceeds B"):
+            machine.write_block(arr, 0, list(range(9)))
+
+    def test_write_block_rejects_gap(self, machine):
+        arr = machine.allocate()
+        with pytest.raises(IndexError):
+            machine.write_block(arr, 3, [1])
+
+    def test_scan_charges_one_read_per_block(self, machine):
+        arr = machine.from_list(range(20))
+        assert list(machine.scan(arr)) == list(range(20))
+        assert machine.counter.block_reads == 3
+
+    def test_blocks_of(self, machine):
+        assert machine.blocks_of(0) == 0
+        assert machine.blocks_of(1) == 1
+        assert machine.blocks_of(8) == 1
+        assert machine.blocks_of(9) == 2
+
+
+class TestReaderWriter:
+    def test_block_reader_streams(self, machine):
+        arr = machine.from_list(range(20))
+        reader = machine.reader(arr)
+        assert list(reader.records()) == list(range(20))
+        assert reader.exhausted
+
+    def test_block_reader_pointer_semantics(self, machine):
+        arr = machine.from_list(range(16))
+        reader = machine.reader(arr)
+        assert reader.load_next() == list(range(8))
+        assert reader.next_block == 1
+        assert not reader.exhausted
+        reader.load_next()
+        assert reader.exhausted
+        with pytest.raises(IndexError):
+            reader.load_next()
+
+    def test_block_writer_flushes_full_blocks(self, machine):
+        writer = machine.writer()
+        for i in range(8):
+            writer.append(i)
+        # a full block flushed eagerly
+        assert machine.counter.block_writes == 1
+        writer.append(8)
+        arr = writer.close()
+        assert machine.counter.block_writes == 2  # partial flushed at close
+        assert arr.peek_list() == list(range(9))
+
+    def test_block_writer_close_idempotent(self, machine):
+        writer = machine.writer()
+        writer.append(1)
+        writer.close()
+        writer.close()
+        assert machine.counter.block_writes == 1
+
+    def test_block_writer_rejects_append_after_close(self, machine):
+        writer = machine.writer()
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.append(1)
+
+    def test_block_writer_context_manager(self, machine):
+        arr = machine.allocate()
+        with BlockWriter(machine, arr) as w:
+            w.extend(range(5))
+        assert arr.peek_list() == list(range(5))
+
+    @given(st.lists(st.integers(), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_writer_roundtrip_property(self, data):
+        machine = AEMachine(MachineParams(M=16, B=4, omega=2))
+        writer = machine.writer()
+        writer.extend(data)
+        arr = writer.close()
+        assert arr.peek_list() == data
+        assert arr.length == len(data)
+        # exactly ceil(len/B) block writes
+        assert machine.counter.block_writes == (len(data) + 3) // 4
+
+
+class TestStructuralOps:
+    def test_split_blocks_even(self, machine):
+        arr = machine.from_list(range(32))  # 4 blocks
+        parts = machine.split_blocks(arr, 2)
+        assert [p.length for p in parts] == [16, 16]
+        assert machine.counter.total_io() == 0  # renaming is free
+
+    def test_split_blocks_ragged(self, machine):
+        arr = machine.from_list(range(20))  # blocks of 8, 8, 4
+        parts = machine.split_blocks(arr, 2)
+        assert sum(p.length for p in parts) == 20
+
+    def test_split_more_parts_than_blocks(self, machine):
+        arr = machine.from_list(range(8))
+        parts = machine.split_blocks(arr, 5)
+        assert len(parts) == 1 and parts[0].length == 8
+
+    def test_split_preserves_data(self, machine):
+        arr = machine.from_list(range(40))
+        parts = machine.split_blocks(arr, 3)
+        flat = [x for p in parts for x in p.peek_list()]
+        assert flat == list(range(40))
+
+    def test_concat_free_and_order_preserving(self, machine):
+        a = machine.from_list(range(10))
+        b = machine.from_list(range(10, 15))
+        out = machine.concat([a, b])
+        assert out.peek_list() == list(range(15))
+        assert machine.counter.total_io() == 0
+
+    def test_concat_keeps_internal_partial_blocks(self, machine):
+        a = machine.from_list(range(5))  # one partial block
+        b = machine.from_list(range(5, 10))
+        out = machine.concat([a, b])
+        assert out.length == 10
+        assert out.num_blocks == 2  # fragmentation is visible
+        assert list(machine.scan(out)) == list(range(10))
+
+
+class TestMemoryGuard:
+    def test_high_water_tracking(self):
+        g = MemoryGuard()
+        g.acquire(10)
+        g.acquire(5)
+        g.release(12)
+        g.acquire(1)
+        assert g.high_water == 15
+        assert g.in_use == 4
+
+    def test_strict_mode_raises(self):
+        g = MemoryGuard(capacity=8, strict=True)
+        g.acquire(8)
+        with pytest.raises(MemoryBudgetExceeded):
+            g.acquire(1)
+
+    def test_non_strict_records_overrun(self):
+        g = MemoryGuard(capacity=8)
+        g.acquire(100)
+        assert g.high_water == 100
+
+    def test_over_release_rejected(self):
+        g = MemoryGuard()
+        g.acquire(1)
+        with pytest.raises(ValueError):
+            g.release(2)
+
+    def test_reset(self):
+        g = MemoryGuard()
+        g.acquire(10)
+        g.reset()
+        assert g.in_use == 0 and g.high_water == 0

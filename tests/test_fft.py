@@ -1,0 +1,129 @@
+"""Tests for the §5.2 cache-oblivious FFTs (numerics + cost shape)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cacheoblivious.fft import brute_force_dft, co_fft, co_fft_asymmetric
+from repro.models import CacheSim, MachineParams
+
+
+def make_cache(M=64, B=8, omega=4) -> CacheSim:
+    return CacheSim(MachineParams(M=M, B=B, omega=omega), policy="lru")
+
+
+def signal(n: int, seed: int = 0) -> list[complex]:
+    rng = random.Random(seed)
+    return [complex(rng.random() - 0.5, rng.random() - 0.5) for _ in range(n)]
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 2048])
+    def test_co_fft_matches_numpy(self, n):
+        data = signal(n, seed=n)
+        cache = make_cache()
+        x = cache.array(data)
+        co_fft(cache, x)
+        err = np.max(np.abs(np.array(x.peek_list()) - np.fft.fft(np.array(data))))
+        assert err < 1e-9 * max(1, n)
+
+    @pytest.mark.parametrize("n", [64, 256, 1024, 4096])
+    @pytest.mark.parametrize("omega", [1, 2, 4, 8])
+    def test_asymmetric_matches_numpy(self, n, omega):
+        data = signal(n, seed=n + omega)
+        cache = make_cache(omega=max(omega, 1))
+        x = cache.array(data)
+        co_fft_asymmetric(cache, x, omega=omega)
+        err = np.max(np.abs(np.array(x.peek_list()) - np.fft.fft(np.array(data))))
+        assert err < 1e-9 * max(1, n)
+
+    def test_brute_force_dft(self):
+        data = signal(8, seed=1)
+        cache = make_cache()
+        x = cache.array(data)
+        brute_force_dft(cache, x)
+        err = np.max(np.abs(np.array(x.peek_list()) - np.fft.fft(np.array(data))))
+        assert err < 1e-10
+
+    def test_impulse_response(self):
+        cache = make_cache()
+        x = cache.array([1 + 0j] + [0j] * 63)
+        co_fft(cache, x)
+        assert np.allclose(np.array(x.peek_list()), np.ones(64))
+
+    def test_rejects_non_power_of_two(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            co_fft(cache, cache.array(signal(12)))
+        with pytest.raises(ValueError):
+            co_fft_asymmetric(cache, cache.array(signal(12)), omega=4)
+
+    def test_rejects_non_power_of_two_omega(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            co_fft_asymmetric(cache, cache.array(signal(16)), omega=3)
+
+
+class TestCostShape:
+    def test_both_variants_linear_ish_writes(self):
+        n = 4096
+        data = signal(n, seed=2)
+        for fn in (co_fft, lambda c, x: co_fft_asymmetric(c, x, omega=4)):
+            cache = make_cache(M=64, B=8)
+            x = cache.array(data)
+            fn(cache, x)
+            cache.flush()
+            # a handful of recursion levels, each writing every block a
+            # small constant number of times (transposes + twiddle + copy)
+            assert cache.counter.block_writes < 40 * n / 8
+
+    def test_asymmetric_read_amplification_bounded(self):
+        n = 4096
+        omega = 8
+        data = signal(n, seed=3)
+        cache = make_cache(M=64, B=8, omega=omega)
+        x = cache.array(data)
+        co_fft_asymmetric(cache, x, omega=omega)
+        cache.flush()
+        std = make_cache(M=64, B=8, omega=omega)
+        y = std.array(data)
+        co_fft(std, y)
+        std.flush()
+        # reads grow by at most ~omega (plus transpose constants)
+        assert cache.counter.block_reads < 3 * omega * std.counter.block_reads
+
+    @pytest.mark.parametrize("n", [256, 1024, 4096])
+    def test_fused_variant_matches_numpy(self, n):
+        data = signal(n, seed=n)
+        cache = make_cache()
+        x = cache.array(data)
+        co_fft_asymmetric(cache, x, omega=4, fused=True)
+        err = np.max(np.abs(np.array(x.peek_list()) - np.fft.fft(np.array(data))))
+        assert err < 1e-9 * n
+
+    def test_fused_variant_saves_io(self):
+        """The merged twiddle-transpose (§5.2's closing suggestion) must
+        strictly reduce both reads and writes."""
+        n = 4096
+        data = signal(n, seed=9)
+        counts = {}
+        for fused in (False, True):
+            cache = make_cache(M=64, B=8, omega=4)
+            x = cache.array(data)
+            co_fft_asymmetric(cache, x, omega=4, fused=fused)
+            cache.flush()
+            counts[fused] = (cache.counter.block_reads, cache.counter.block_writes)
+        assert counts[True][0] < counts[False][0]
+        assert counts[True][1] < counts[False][1]
+
+    def test_omega_one_dispatches_to_standard(self):
+        n = 1024
+        data = signal(n, seed=4)
+        c1 = make_cache()
+        x1 = c1.array(data)
+        co_fft_asymmetric(c1, x1, omega=1)
+        c2 = make_cache()
+        x2 = c2.array(data)
+        co_fft(c2, x2)
+        assert c1.counter.as_dict() == c2.counter.as_dict()

@@ -1,0 +1,255 @@
+"""Unit tests for the asymmetric cache simulator and SimArray plumbing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import CacheSim, MachineParams
+from repro.models.ideal_cache import simulate_trace
+
+
+def make_cache(M=32, B=4, omega=4, policy="lru", **kw) -> CacheSim:
+    return CacheSim(MachineParams(M=M, B=B, omega=omega), policy=policy, **kw)
+
+
+class TestLRUPolicy:
+    def test_repeat_access_hits(self):
+        c = make_cache()
+        c.access(0, False)
+        c.access(1, False)  # same block
+        assert c.misses == 1 and c.hits == 1
+        assert c.counter.block_reads == 1
+
+    def test_capacity_eviction_clean(self):
+        c = make_cache(M=8, B=4)  # 2 blocks
+        c.access(0, False)
+        c.access(4, False)
+        c.access(8, False)  # evicts block 0 (clean): no write-back
+        assert c.counter.block_reads == 3
+        assert c.counter.block_writes == 0
+
+    def test_dirty_eviction_charges_write(self):
+        c = make_cache(M=8, B=4)
+        c.access(0, True)  # dirty block 0
+        c.access(4, False)
+        c.access(8, False)  # evicts dirty block 0
+        assert c.counter.block_writes == 1
+
+    def test_lru_order_is_recency(self):
+        c = make_cache(M=8, B=4)
+        c.access(0, False)  # block 0
+        c.access(4, False)  # block 1
+        c.access(0, False)  # touch block 0 -> block 1 is now LRU
+        c.access(8, False)  # evicts block 1
+        c.access(0, False)  # block 0 still resident: hit
+        assert c.misses == 3
+
+    def test_flush_writes_dirty_only(self):
+        c = make_cache(M=16, B=4)
+        c.access(0, True)
+        c.access(4, False)
+        c.flush()
+        assert c.counter.block_writes == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache(M=8, B=4)
+        c.access(0, False)
+        c.access(0, True)  # hit, now dirty
+        c.flush()
+        assert c.counter.block_writes == 1
+
+
+class TestReadWriteLRUPolicy:
+    def test_read_then_write_promotes(self):
+        c = make_cache(M=16, B=4, policy="rwlru")
+        c.access(0, False)  # read pool
+        c.access(0, True)  # promote to write pool (hit)
+        assert c.misses == 1
+        c.flush()
+        assert c.counter.block_writes == 1
+
+    def test_write_pool_eviction_costs_write(self):
+        c = make_cache(M=8, B=4, policy="rwlru")  # pools of 1 block each
+        c.access(0, True)
+        c.access(4, True)  # evicts dirty block 0 from write pool
+        assert c.counter.block_writes == 1
+
+    def test_read_pool_eviction_free(self):
+        c = make_cache(M=8, B=4, policy="rwlru")
+        c.access(0, False)
+        c.access(4, False)  # evicts clean block 0: only the read charged
+        assert c.counter.block_writes == 0
+        assert c.counter.block_reads == 2
+
+    def test_read_served_from_write_pool(self):
+        c = make_cache(M=16, B=4, policy="rwlru")
+        c.access(0, True)
+        c.access(0, False)  # dirty copy readable without a transfer
+        assert c.misses == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(policy="clock")
+
+
+class TestSimArray:
+    def test_roundtrip(self):
+        c = make_cache()
+        a = c.array([3, 1, 2])
+        assert [a[i] for i in range(3)] == [3, 1, 2]
+        a[0] = 9
+        assert a.peek_list() == [9, 1, 2]
+
+    def test_length_allocation(self):
+        c = make_cache()
+        a = c.array(5)
+        assert len(a) == 5
+        assert a.peek_list() == [None] * 5
+
+    def test_out_of_range(self):
+        c = make_cache()
+        a = c.array(4)
+        with pytest.raises(IndexError):
+            a[4]
+        with pytest.raises(IndexError):
+            a[-1] = 0
+
+    def test_no_slicing_backdoor(self):
+        c = make_cache()
+        a = c.array(8)
+        with pytest.raises(TypeError):
+            a[0:2]
+
+    def test_accesses_charge_cache(self):
+        c = make_cache(M=8, B=4)
+        a = c.array(list(range(16)))
+        for i in range(16):
+            a[i]
+        assert c.misses == 4  # 16 records / B=4
+
+    def test_arrays_block_aligned(self):
+        c = make_cache(M=8, B=4)
+        a = c.array([1])  # 1 record, but next array starts a new block
+        b = c.array([2])
+        a[0]
+        b[0]
+        assert c.misses == 2  # no false sharing between arrays
+
+    def test_views_share_addresses(self):
+        c = make_cache(M=8, B=4)
+        a = c.array(list(range(8)))
+        v = a.view(2, 4)
+        assert len(v) == 4
+        assert v[0] == 2
+        v[1] = 99
+        assert a.peek_list()[3] == 99
+
+    def test_nested_views_flatten(self):
+        c = make_cache()
+        a = c.array(list(range(10)))
+        v = a.view(2, 6).view(1, 4)
+        assert v.peek_list() == [3, 4, 5, 6]
+        assert v.parent is a  # flattened, not chained
+
+    def test_view_bounds_checked(self):
+        c = make_cache()
+        a = c.array(4)
+        with pytest.raises(IndexError):
+            a.view(2, 4)
+        v = a.view(0, 4)
+        with pytest.raises(IndexError):
+            v[4]
+
+
+class TestBelady:
+    def test_belady_on_trivial_trace(self):
+        params = MachineParams(M=8, B=4, omega=4)
+        trace = [(0, False), (1, False), (0, False)]
+        c = simulate_trace(trace, params, policy="belady")
+        assert c.block_reads == 2
+
+    def test_belady_beats_lru_on_looping_trace(self):
+        # cyclic scan over capacity+1 blocks: LRU misses everything,
+        # MIN keeps most of the working set
+        params = MachineParams(M=16, B=4, omega=4)  # 4 blocks
+        trace = [(b, False) for _ in range(20) for b in range(5)]
+        belady = simulate_trace(trace, params, policy="belady")
+        lru = simulate_trace(trace, params, policy="lru")
+        assert belady.block_reads < lru.block_reads
+
+    def test_belady_charges_dirty_evictions(self):
+        params = MachineParams(M=4, B=4, omega=4)  # 1 block
+        trace = [(0, True), (1, False), (0, True)]
+        c = simulate_trace(trace, params, policy="belady")
+        assert c.block_writes >= 2  # both dirty epochs written back
+
+    def test_replay_policies_match_online_simulation(self):
+        params = MachineParams(M=8, B=4, omega=4)
+        trace = [(0, True), (1, False), (2, True), (0, False), (1, True)]
+        for policy in ("lru", "rwlru"):
+            replay = simulate_trace(trace, params, policy=policy)
+            online = CacheSim(params, policy=policy)
+            for block, w in trace:
+                online.access(block * params.B, w)
+            online.flush()
+            assert replay.block_reads == online.counter.block_reads
+            assert replay.block_writes == online.counter.block_writes
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate_trace([], MachineParams(M=8, B=4, omega=2), policy="opt")
+
+    def test_belady_asym_prefers_clean_victims(self):
+        """With one dirty and one clean resident block whose next uses are
+        close, the write-aware variant evicts the clean one."""
+        params = MachineParams(M=8, B=4, omega=16)  # 2 blocks
+        # block 0 dirty, block 1 clean; block 2 forces an eviction;
+        # then block 0 and 1 are both re-used (0 slightly later than 1)
+        trace = [(0, True), (1, False), (2, False), (1, False), (0, False)]
+        asym = simulate_trace(trace, params, policy="belady-asym")
+        classic = simulate_trace(trace, params, policy="belady")
+        # classic MIN evicts block 0 (farthest use) -> pays the write-back
+        # before the final flush; the write-aware variant keeps it
+        assert asym.block_cost(16) <= classic.block_cost(16)
+
+    def test_belady_asym_can_beat_classic_on_cost(self):
+        """On write-heavy skewed traces, trading extra misses for fewer
+        dirty evictions lowers the asymmetric cost."""
+        import random
+
+        rng = random.Random(5)
+        params = MachineParams(M=16, B=4, omega=32)
+        # hot dirty blocks + cold clean sweep
+        trace = []
+        for _ in range(2000):
+            if rng.random() < 0.4:
+                trace.append((rng.randrange(3), True))  # hot, written
+            else:
+                trace.append((3 + rng.randrange(40), False))  # cold, read
+        asym = simulate_trace(trace, params, policy="belady-asym")
+        classic = simulate_trace(trace, params, policy="belady")
+        assert asym.block_cost(32) < classic.block_cost(32)
+        # and classic MIN still wins (weakly) on raw miss count
+        assert classic.block_reads <= asym.block_reads
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.booleans()), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_belady_never_beaten_by_lru_on_misses(self, trace):
+        """MIN minimises *misses* (reads) — verify against online LRU."""
+        params = MachineParams(M=12, B=4, omega=2)
+        belady = simulate_trace(trace, params, policy="belady")
+        lru = simulate_trace(trace, params, policy="lru")
+        assert belady.block_reads <= lru.block_reads
+
+
+class TestTraceRecording:
+    def test_record_trace(self):
+        c = make_cache(record_trace=True)
+        a = c.array(list(range(8)))
+        a[0]
+        a[5] = 1
+        assert c.trace == [(a.base // 4, False), ((a.base + 5) // 4, True)]

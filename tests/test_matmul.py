@@ -1,0 +1,137 @@
+"""Tests for §5.3 matrix multiplication (EM blocked + cache-oblivious)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.cacheoblivious.matmul import (
+    Matrix,
+    co_matmul_asymmetric,
+    co_matmul_classic,
+    em_blocked_matmul,
+)
+from repro.models import AEMachine, CacheSim, MachineParams
+
+
+def rand_rows(n: int, seed: int) -> list[list]:
+    rng = random.Random(seed)
+    return [[rng.random() for _ in range(n)] for _ in range(n)]
+
+
+def make_cache(M=512, B=8, omega=4) -> CacheSim:
+    return CacheSim(MachineParams(M=M, B=B, omega=omega), policy="lru")
+
+
+class TestMatrix:
+    def test_from_rows_and_get(self):
+        c = make_cache()
+        m = Matrix.from_rows(c, [[1, 2], [3, 4]])
+        assert m.get(1, 0) == 3
+
+    def test_from_rows_rejects_non_square(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            Matrix.from_rows(c, [[1, 2], [3]])
+
+    def test_zeros(self):
+        c = make_cache()
+        m = Matrix.zeros(c, 3)
+        assert m.peek_rows() == [[0] * 3] * 3
+
+    def test_sub_windows(self):
+        c = make_cache()
+        m = Matrix.from_rows(c, [[i * 4 + j for j in range(4)] for i in range(4)])
+        s = m.sub(1, 2, 2)
+        assert s.get(0, 0) == 6
+        s.set(1, 1, -1)
+        assert m.get(2, 3) == -1
+
+
+class TestClassicCO:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_matches_numpy(self, n):
+        A_rows, B_rows = rand_rows(n, 1), rand_rows(n, 2)
+        c = make_cache()
+        A, B = Matrix.from_rows(c, A_rows), Matrix.from_rows(c, B_rows)
+        C = Matrix.zeros(c, n)
+        co_matmul_classic(c, A, B, C)
+        err = np.max(np.abs(np.array(C.peek_rows()) - np.array(A_rows) @ np.array(B_rows)))
+        assert err < 1e-9
+
+    def test_accumulates_into_c(self):
+        c = make_cache()
+        A = Matrix.from_rows(c, [[1, 0], [0, 1]])
+        B = Matrix.from_rows(c, [[5, 6], [7, 8]])
+        C = Matrix.from_rows(c, [[1, 1], [1, 1]])
+        co_matmul_classic(c, A, B, C)
+        assert C.peek_rows() == [[6, 7], [8, 9]]
+
+    def test_rejects_mismatched_sizes(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            co_matmul_classic(
+                c, Matrix.zeros(c, 4), Matrix.zeros(c, 4), Matrix.zeros(c, 8)
+            )
+
+
+class TestAsymmetricCO:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    @pytest.mark.parametrize("omega", [2, 4, 8])
+    def test_matches_numpy(self, n, omega):
+        A_rows, B_rows = rand_rows(n, 3), rand_rows(n, 4)
+        c = make_cache(omega=omega)
+        A, B = Matrix.from_rows(c, A_rows), Matrix.from_rows(c, B_rows)
+        C = Matrix.zeros(c, n)
+        co_matmul_asymmetric(c, A, B, C, omega=omega, seed=n)
+        err = np.max(np.abs(np.array(C.peek_rows()) - np.array(A_rows) @ np.array(B_rows)))
+        assert err < 1e-9
+
+    def test_rejects_non_power_of_two_omega(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            co_matmul_asymmetric(c, Matrix.zeros(c, 8), Matrix.zeros(c, 8), Matrix.zeros(c, 8), omega=3)
+
+    def test_randomized_first_round_varies_with_seed(self):
+        n, omega = 64, 8
+        A_rows, B_rows = rand_rows(n, 5), rand_rows(n, 6)
+        counts = set()
+        for seed in range(4):
+            c = make_cache(M=128, B=8, omega=omega)
+            A, B = Matrix.from_rows(c, A_rows), Matrix.from_rows(c, B_rows)
+            C = Matrix.zeros(c, n)
+            co_matmul_asymmetric(c, A, B, C, omega=omega, seed=seed)
+            counts.add((c.counter.block_reads, c.counter.block_writes))
+        assert len(counts) > 1  # first-round branching actually randomizes
+
+
+class TestEMBlocked:
+    @pytest.mark.parametrize("n", [4, 8, 16, 24])
+    def test_matches_numpy(self, n):
+        A_rows, B_rows = rand_rows(n, 7), rand_rows(n, 8)
+        machine = AEMachine(MachineParams(M=192, B=8, omega=4))
+        out = em_blocked_matmul(machine, A_rows, B_rows)
+        err = np.max(np.abs(np.array(out) - np.array(A_rows) @ np.array(B_rows)))
+        assert err < 1e-9
+
+    def test_writes_exactly_one_pass_of_output(self):
+        """Theorem 5.2's defining property: writes = ceil-blocks of n^2."""
+        n = 32
+        machine = AEMachine(MachineParams(M=192, B=8, omega=4))
+        em_blocked_matmul(machine, rand_rows(n, 9), rand_rows(n, 10))
+        t = max(1, int(math.isqrt(192 // 3)))
+        while n % t:
+            t -= 1
+        g = n // t
+        expected_writes = g * g * math.ceil(t * t / 8)
+        assert machine.counter.block_writes == expected_writes
+
+    def test_reads_scale_with_n_cubed(self):
+        params = MachineParams(M=192, B=8, omega=4)
+        reads = {}
+        for n in (16, 32):
+            machine = AEMachine(params)
+            em_blocked_matmul(machine, rand_rows(n, 11), rand_rows(n, 12))
+            reads[n] = machine.counter.block_reads
+        assert 6 < reads[32] / reads[16] < 10  # ~8x for 2x n

@@ -1,0 +1,56 @@
+"""Strict-mode memory-budget compliance for the §4 algorithms.
+
+The theorems state explicit primary-memory sizes (Lemma 4.1: ``M + 2B +
+2αkM/B``; Lemma 4.2: ``M + B``; Theorem 4.5: ``M + B + M/B``).  These tests
+run the algorithms under a *strict* :class:`MemoryGuard` sized at the stated
+budget (word-level pointer allowances excluded, as the paper keeps them
+outside ``M``): any over-allocation raises instead of silently passing.
+"""
+
+import pytest
+
+from repro.core.aem_mergesort import aem_mergesort
+from repro.core.aem_samplesort import aem_samplesort
+from repro.core.selection_sort import selection_sort
+from repro.models import AEMachine, MachineParams, MemoryBudgetExceeded, MemoryGuard
+from repro.workloads import random_permutation
+
+PARAMS = MachineParams(M=64, B=8, omega=8)
+
+
+def test_selection_sort_within_m_plus_buffers():
+    machine = AEMachine(PARAMS)
+    guard = MemoryGuard(capacity=PARAMS.M + 2 * PARAMS.B, strict=True)
+    data = random_permutation(500, seed=1)
+    out = selection_sort(machine, machine.from_list(data), guard=guard)
+    assert out.peek_list() == sorted(data)
+    assert guard.high_water <= PARAMS.M + 2 * PARAMS.B
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_mergesort_within_lemma41_budget(k):
+    machine = AEMachine(PARAMS)
+    guard = MemoryGuard(capacity=PARAMS.M + 2 * PARAMS.B, strict=True)
+    data = random_permutation(4000, seed=k)
+    out = aem_mergesort(machine, machine.from_list(data), k=k, guard=guard)
+    assert out.peek_list() == sorted(data)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_samplesort_within_theorem45_budget(k):
+    machine = AEMachine(PARAMS)
+    capacity = PARAMS.M + 2 * PARAMS.B + PARAMS.blocks_in_memory
+    guard = MemoryGuard(capacity=capacity, strict=True)
+    data = random_permutation(4000, seed=k)
+    out = aem_samplesort(machine, machine.from_list(data), k=k, guard=guard)
+    assert out.peek_list() == sorted(data)
+
+
+def test_strict_guard_actually_bites():
+    """Sanity: an unrealistically small budget must raise, proving the
+    strict guard is on the algorithms' hot path."""
+    machine = AEMachine(PARAMS)
+    guard = MemoryGuard(capacity=PARAMS.M // 2, strict=True)
+    data = random_permutation(1000, seed=9)
+    with pytest.raises(MemoryBudgetExceeded):
+        aem_mergesort(machine, machine.from_list(data), k=2, guard=guard)

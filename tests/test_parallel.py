@@ -1,0 +1,125 @@
+"""Tests for the fork-join DAG and scheduler simulators (§2 bounds)."""
+
+import pytest
+
+from repro.models import MachineParams
+from repro.parallel import (
+    TaskNode,
+    build_parallel_mergesort_dag,
+    dag_depth,
+    dag_work,
+    simulate_pdf,
+    simulate_work_stealing,
+)
+
+PARAMS = MachineParams(M=64, B=8, omega=4)
+
+
+def small_dag(n: int = 256) -> TaskNode:
+    return build_parallel_mergesort_dag(n, PARAMS)
+
+
+class TestDag:
+    def test_work_and_depth_of_leaf(self):
+        node = TaskNode(pre=[(0, False), (0, True)])
+        assert dag_work(node) == 2
+        assert dag_depth(node) == 2
+
+    def test_depth_takes_max_child(self):
+        root = TaskNode(
+            pre=[(0, False)],
+            children=[
+                TaskNode(pre=[(1, False)] * 5),
+                TaskNode(pre=[(2, False)] * 2),
+            ],
+            post=[(0, True)],
+        )
+        assert dag_work(root) == 1 + 5 + 2 + 1
+        assert dag_depth(root) == 1 + 5 + 1
+
+    def test_mergesort_dag_shape(self):
+        dag = small_dag(256)
+        assert dag_work(dag) > 256
+        assert dag_depth(dag) < dag_work(dag)
+
+    def test_mergesort_dag_depth_sublinear_fraction(self):
+        dag = small_dag(1024)
+        # depth ~ O(n) for this merge DAG (sequential merges), but far
+        # below total work ~ O(n log n)
+        assert dag_depth(dag) * 2 < dag_work(dag)
+
+
+class TestWorkStealing:
+    def test_single_worker_no_steals(self):
+        res = simulate_work_stealing(small_dag(), 1, PARAMS, seed=1)
+        assert res.steals == 0
+        assert res.p == 1
+
+    def test_all_accesses_executed(self):
+        dag = small_dag()
+        res = simulate_work_stealing(dag, 4, PARAMS, seed=1)
+        total = res.total_block_reads  # >= cold misses
+        assert 0 < total <= dag_work(dag)
+
+    def test_bound_q1_plus_steal_warmup(self):
+        dag = small_dag(512)
+        q1 = simulate_work_stealing(dag, 1, PARAMS, seed=2).total_misses
+        for p in (2, 4, 8):
+            res = simulate_work_stealing(dag, p, PARAMS, seed=2)
+            bound = q1 + 2 * res.steals * PARAMS.blocks_in_memory
+            assert res.total_misses <= bound, f"WS bound violated at p={p}"
+
+    def test_parallelism_reduces_makespan(self):
+        dag = small_dag(512)
+        t1 = simulate_work_stealing(dag, 1, PARAMS, seed=3).makespan
+        t4 = simulate_work_stealing(dag, 4, PARAMS, seed=3).makespan
+        assert t4 < t1
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(small_dag(), 0, PARAMS)
+
+    def test_deterministic_given_seed(self):
+        dag = small_dag()
+        a = simulate_work_stealing(dag, 4, PARAMS, seed=7)
+        b = simulate_work_stealing(dag, 4, PARAMS, seed=7)
+        assert (a.steals, a.total_misses, a.makespan) == (
+            b.steals,
+            b.total_misses,
+            b.makespan,
+        )
+
+    def test_per_worker_counters_sum(self):
+        res = simulate_work_stealing(small_dag(), 4, PARAMS, seed=5)
+        assert sum(c.block_reads for c in res.per_worker) == res.total_block_reads
+
+
+class TestPDF:
+    def test_qp_le_q1_with_extra_cache(self):
+        dag = small_dag(512)
+        q1 = simulate_pdf(dag, 1, PARAMS, extra_cache=False).misses
+        for p in (2, 4, 8):
+            res = simulate_pdf(dag, p, PARAMS, extra_cache=True)
+            assert res.misses <= q1, f"PDF bound violated at p={p}"
+
+    def test_shared_cache_sized_by_depth(self):
+        dag = small_dag(256)
+        res = simulate_pdf(dag, 4, PARAMS, extra_cache=True)
+        assert res.shared_cache_records >= PARAMS.M + 4 * PARAMS.B
+
+    def test_makespan_improves(self):
+        dag = small_dag(512)
+        t1 = simulate_pdf(dag, 1, PARAMS).makespan
+        t4 = simulate_pdf(dag, 4, PARAMS).makespan
+        assert t4 < t1
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            simulate_pdf(small_dag(), 0, PARAMS)
+
+    def test_small_cache_contrast(self):
+        """Without the pBD cache bonus, parallel misses may exceed Q_1 —
+        the simulation must at least run and count coherently."""
+        dag = small_dag(256)
+        res = simulate_pdf(dag, 4, PARAMS, extra_cache=False)
+        assert res.misses >= 1

@@ -1,0 +1,73 @@
+"""Unit tests for machine-parameter validation and derived quantities."""
+
+import pytest
+
+from repro.models.params import MEDIUM, SMALL, TINY, MachineParams, parameter_grid
+
+
+class TestValidation:
+    def test_valid_params(self):
+        p = MachineParams(M=64, B=8, omega=8)
+        assert p.M == 64 and p.B == 8 and p.omega == 8
+
+    def test_rejects_tiny_block(self):
+        with pytest.raises(ValueError, match="block size"):
+            MachineParams(M=64, B=0, omega=2)
+
+    def test_rejects_memory_smaller_than_block(self):
+        with pytest.raises(ValueError, match="must be >= block size"):
+            MachineParams(M=4, B=8, omega=2)
+
+    def test_rejects_omega_below_one(self):
+        with pytest.raises(ValueError, match="omega"):
+            MachineParams(M=64, B=8, omega=0)
+
+    def test_rejects_unaligned_memory(self):
+        with pytest.raises(ValueError, match="multiple"):
+            MachineParams(M=65, B=8, omega=2)
+
+    def test_omega_one_allowed_for_baselines(self):
+        assert MachineParams(M=64, B=8, omega=1).omega == 1
+
+    def test_frozen(self):
+        p = MachineParams(M=64, B=8, omega=8)
+        with pytest.raises(Exception):
+            p.M = 128
+
+
+class TestDerived:
+    def test_blocks_in_memory(self):
+        assert MachineParams(M=64, B=8, omega=2).blocks_in_memory == 8
+
+    def test_tall_cache(self):
+        assert MachineParams(M=64, B=8, omega=2).tall_cache
+        assert not MachineParams(M=32, B=8, omega=2).tall_cache
+
+    def test_fanout(self):
+        p = MachineParams(M=64, B=8, omega=8)
+        assert p.fanout(1) == 8
+        assert p.fanout(3) == 24
+
+    def test_fanout_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MachineParams(M=64, B=8, omega=8).fanout(0)
+
+    def test_with_omega(self):
+        p = MachineParams(M=64, B=8, omega=8)
+        q = p.with_omega(2)
+        assert q.omega == 2 and q.M == p.M and q.B == p.B
+
+    def test_bookkeeping_allowance_logarithmic(self):
+        small = MachineParams(M=16, B=4, omega=2).bookkeeping_allowance()
+        big = MachineParams(M=4096, B=4, omega=2).bookkeeping_allowance()
+        assert small <= big <= 4 * 12 + 8
+
+    def test_presets_valid(self):
+        for p in (TINY, SMALL, MEDIUM):
+            assert p.blocks_in_memory >= 2
+
+    def test_parameter_grid_nonempty_and_valid(self):
+        grid = parameter_grid()
+        assert len(grid) >= 10
+        assert all(p.M % p.B == 0 for p in grid)
+        assert {p.omega for p in grid} >= {2, 32}

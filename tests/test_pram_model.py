@@ -1,0 +1,136 @@
+"""Unit tests for the Asymmetric PRAM work/depth tracker."""
+
+import pytest
+
+from repro.models import DepthTracker
+
+
+class TestSequentialCharges:
+    def test_reads_and_ops_cost_one(self):
+        t = DepthTracker(omega=8)
+        t.charge(reads=3, ops=2)
+        assert t.depth == 5
+        assert t.counter.element_reads == 3
+
+    def test_writes_cost_omega_toward_depth(self):
+        t = DepthTracker(omega=8)
+        t.charge(writes=2)
+        assert t.depth == 16
+        assert t.counter.element_writes == 2
+
+    def test_work_formula(self):
+        t = DepthTracker(omega=4)
+        t.charge(reads=10, writes=3, ops=2)
+        assert t.work == 10 + 2 + 4 * 3
+
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ValueError):
+            DepthTracker(omega=0)
+
+
+class TestParallelRegions:
+    def test_depth_is_max_of_branches(self):
+        t = DepthTracker(omega=2)
+        with t.parallel() as f:
+            with f.branch():
+                t.charge(reads=10)
+            with f.branch():
+                t.charge(reads=3)
+        assert t.depth == 10
+        assert t.counter.element_reads == 13  # work sums
+
+    def test_sequential_after_parallel_adds(self):
+        t = DepthTracker(omega=2)
+        t.charge(reads=1)
+        with t.parallel() as f:
+            with f.branch():
+                t.charge(reads=5)
+        t.charge(reads=2)
+        assert t.depth == 8
+
+    def test_nested_parallel(self):
+        t = DepthTracker(omega=2)
+        with t.parallel() as outer:
+            with outer.branch():
+                with t.parallel() as inner:
+                    with inner.branch():
+                        t.charge(reads=4)
+                    with inner.branch():
+                        t.charge(reads=6)
+                t.charge(reads=1)  # after the inner join
+            with outer.branch():
+                t.charge(reads=2)
+        assert t.depth == 7  # max(6, ...) + 1 vs 2
+
+    def test_parallel_for_returns_results(self):
+        t = DepthTracker(omega=2)
+
+        def body(x):
+            t.charge(reads=x)
+            return x * 2
+
+        assert t.parallel_for([1, 2, 3], body) == [2, 4, 6]
+        assert t.depth == 3
+
+    def test_depth_read_inside_open_region_fails(self):
+        t = DepthTracker(omega=2)
+        with t.parallel() as f:
+            with f.branch():
+                with pytest.raises(RuntimeError):
+                    _ = t.depth
+
+
+class TestBulkAndPrimitiveCharges:
+    def test_bulk_parallel_charges_work_times_count(self):
+        t = DepthTracker(omega=4)
+        t.charge_parallel_bulk(100, reads=2, writes=1)
+        assert t.counter.element_reads == 200
+        assert t.counter.element_writes == 100
+        assert t.depth == 2 + 4  # one iterate's cost
+
+    def test_bulk_zero_count_noop(self):
+        t = DepthTracker(omega=4)
+        t.charge_parallel_bulk(0, reads=5)
+        assert t.depth == 0
+
+    def test_bulk_rejects_negative(self):
+        t = DepthTracker(omega=4)
+        with pytest.raises(ValueError):
+            t.charge_parallel_bulk(-1, reads=1)
+
+    def test_work_only_does_not_touch_depth(self):
+        t = DepthTracker(omega=4)
+        t.charge_work_only(reads=100, writes=50)
+        assert t.depth == 0
+        assert t.counter.element_reads == 100
+
+    def test_charge_depth(self):
+        t = DepthTracker(omega=4)
+        t.charge_depth(12.5)
+        assert t.depth == 12.5
+
+    def test_charge_depth_rejects_negative(self):
+        t = DepthTracker(omega=4)
+        with pytest.raises(ValueError):
+            t.charge_depth(-1)
+
+
+class TestBrent:
+    def test_brent_time(self):
+        t = DepthTracker(omega=2)
+        t.charge(reads=100)  # work 100, depth 100
+        assert t.brent_time(10) == 110
+
+    def test_brent_rejects_bad_p(self):
+        t = DepthTracker(omega=2)
+        with pytest.raises(ValueError):
+            t.brent_time(0)
+
+    def test_brent_monotone_in_p(self):
+        t = DepthTracker(omega=4)
+        with t.parallel() as f:
+            for _ in range(8):
+                with f.branch():
+                    t.charge(reads=10, writes=2)
+        times = [t.brent_time(p) for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,110 @@
+"""Tests for Algorithm 1 (PRAM sample sort) and Lemma 3.1."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pram_sample_sort import _lemma31_partition, pram_sample_sort
+from repro.models import DepthTracker
+from repro.workloads import random_permutation, reverse_sorted, sorted_run
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 50, 1000, 5000])
+    def test_sizes(self, n):
+        data = random_permutation(n, seed=n)
+        res = pram_sample_sort(data, omega=8, seed=1)
+        assert res.output == sorted(data)
+
+    @pytest.mark.parametrize("gen", [sorted_run, reverse_sorted])
+    def test_presorted(self, gen):
+        data = gen(2000)
+        res = pram_sample_sort(data, omega=4, seed=2)
+        assert res.output == sorted(data)
+
+    def test_without_depth_reduction(self):
+        data = random_permutation(3000, seed=3)
+        res = pram_sample_sort(data, omega=8, seed=3, reduce_depth=False)
+        assert res.output == sorted(data)
+
+    @given(
+        data=st.lists(st.integers(), unique=True, max_size=400),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, data, seed):
+        res = pram_sample_sort(list(data), omega=4, seed=seed)
+        assert res.output == sorted(data)
+
+    def test_deterministic_per_seed(self):
+        data = random_permutation(2000, seed=4)
+        r1 = pram_sample_sort(data, omega=8, seed=9)
+        r2 = pram_sample_sort(data, omega=8, seed=9)
+        assert (r1.reads, r1.writes, r1.depth) == (r2.reads, r2.writes, r2.depth)
+
+
+class TestTheorem32Shape:
+    def test_writes_linear(self):
+        ratios = {}
+        for n in (2000, 16000):
+            res = pram_sample_sort(random_permutation(n, seed=n), omega=8, seed=5)
+            ratios[n] = res.writes / n
+        assert ratios[16000] < ratios[2000] * 1.2
+
+    def test_reads_n_log_n(self):
+        ratios = {}
+        for n in (2000, 16000):
+            res = pram_sample_sort(random_permutation(n, seed=n), omega=8, seed=6)
+            ratios[n] = res.reads / (n * math.log2(n))
+        assert 0.5 < ratios[16000] / ratios[2000] < 1.5
+
+    def test_depth_scales_with_omega(self):
+        n = 4000
+        data = random_permutation(n, seed=7)
+        d2 = pram_sample_sort(data, omega=2, seed=7).depth
+        d16 = pram_sample_sort(data, omega=16, seed=7).depth
+        assert 3 < d16 / d2 < 16  # roughly linear in omega
+
+    def test_depth_sublinear_in_n(self):
+        d_small = pram_sample_sort(random_permutation(2000, seed=8), 8, seed=8).depth
+        d_big = pram_sample_sort(random_permutation(32000, seed=8), 8, seed=8).depth
+        assert d_big / d_small < 4  # polylog growth, not the 16x of linear
+
+    def test_stats_populated(self):
+        res = pram_sample_sort(random_permutation(3000, seed=9), omega=8, seed=9)
+        assert res.stats["buckets"] >= 1
+        assert res.stats["placement_tries"] >= 3000
+        assert res.stats["max_final_bucket"] >= 1
+
+    def test_placement_tries_linear(self):
+        """Expected O(1) tries per record (the arrays have 2x slack)."""
+        n = 8000
+        res = pram_sample_sort(random_permutation(n, seed=10), omega=8, seed=10)
+        assert res.stats["placement_tries"] < 3 * n
+
+
+class TestLemma31:
+    def test_partition_sizes_and_order(self):
+        """On a large bucket the two-round bound |M_i| < m^{2/3} log m holds."""
+        m = 60_000
+        bucket = random_permutation(m, seed=11)
+        tracker = DepthTracker(omega=4)
+        parts = _lemma31_partition(bucket, tracker, omega=4)
+        assert sum(len(p) for p in parts) == m
+        assert len(parts) > 1, "partition must actually split a large bucket"
+        bound = m ** (2 / 3) * math.log2(m)
+        assert max(len(p) for p in parts) < bound
+        # ordered buckets: max of part i < min of part i+1
+        for a, b in zip(parts, parts[1:]):
+            assert max(a) < min(b)
+
+    def test_small_bucket_passthrough(self):
+        tracker = DepthTracker(omega=4)
+        parts = _lemma31_partition([3, 1, 2], tracker, omega=4)
+        assert parts == [[3, 1, 2]]
+
+    def test_empty_bucket(self):
+        tracker = DepthTracker(omega=4)
+        assert _lemma31_partition([], tracker, omega=4) == []

@@ -1,0 +1,92 @@
+"""Tests for §3 RAM sorting: correctness of all six sorts + cost separation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ram_sort import RAM_SORTS, bst_sort, heapsort, mergesort, quicksort
+from repro.workloads import (
+    nearly_sorted,
+    random_permutation,
+    reverse_sorted,
+    sorted_run,
+)
+
+WORKLOADS = {
+    "random": random_permutation,
+    "sorted": sorted_run,
+    "reverse": reverse_sorted,
+    "nearly": nearly_sorted,
+}
+
+
+@pytest.mark.parametrize("alg", sorted(RAM_SORTS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_sorts_all_workloads(alg, workload):
+    data = WORKLOADS[workload](500, seed=9)
+    out, counter = RAM_SORTS[alg](data)
+    assert out == sorted(data)
+    assert counter.element_reads > 0
+    assert counter.element_writes > 0
+
+
+@pytest.mark.parametrize("alg", sorted(RAM_SORTS))
+@given(data=st.lists(st.integers(), unique=True, max_size=150))
+@settings(max_examples=25, deadline=None)
+def test_sorts_property(alg, data):
+    out, _ = RAM_SORTS[alg](data)
+    assert out == sorted(data)
+
+
+def test_bst_sort_rejects_unknown_tree():
+    with pytest.raises(ValueError):
+        bst_sort([1, 2], tree="splay")
+
+
+def test_bst_sort_empty_and_single():
+    assert bst_sort([])[0] == []
+    assert bst_sort([42])[0] == [42]
+
+
+class TestTheorem3Shape:
+    """§3: BST sort = O(n log n) reads, O(n) writes; classics Θ(n log n) writes."""
+
+    def test_bst_writes_linear(self):
+        n1, n2 = 2000, 16000
+        _, c1 = bst_sort(random_permutation(n1, seed=1))
+        _, c2 = bst_sort(random_permutation(n2, seed=1))
+        ratio = (c2.element_writes / n2) / (c1.element_writes / n1)
+        assert 0.8 < ratio < 1.2  # flat per-record writes
+
+    def test_classic_writes_superlinear(self):
+        n1, n2 = 2000, 16000
+        for fn in (quicksort, mergesort, heapsort):
+            _, c1 = fn(random_permutation(n1, seed=1))
+            _, c2 = fn(random_permutation(n2, seed=1))
+            ratio = (c2.element_writes / n2) / (c1.element_writes / n1)
+            assert ratio > 1.15, fn.__name__  # ~log-factor growth
+
+    def test_bst_reads_n_log_n(self):
+        n = 8000
+        _, c = bst_sort(random_permutation(n, seed=2))
+        assert c.element_reads < 6 * n * math.log2(n)
+        assert c.element_reads > n  # must at least touch everything
+
+    def test_asymmetric_cost_crossover(self):
+        """At large omega, BST sort must beat mergesort on total cost."""
+        n = 8000
+        data = random_permutation(n, seed=3)
+        _, c_bst = bst_sort(data)
+        _, c_ms = mergesort(data)
+        omega = 32
+        assert c_bst.element_cost(omega) < c_ms.element_cost(omega)
+
+    def test_symmetric_cost_bst_not_required(self):
+        """Sanity: at omega=1 the classic mergesort is competitive."""
+        n = 4000
+        data = random_permutation(n, seed=4)
+        _, c_bst = bst_sort(data)
+        _, c_ms = mergesort(data)
+        assert c_ms.element_cost(1) < 2.5 * c_bst.element_cost(1)

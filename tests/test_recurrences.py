@@ -1,0 +1,90 @@
+"""Numeric checks that the §5 recurrences solve to their closed forms."""
+
+import pytest
+
+from repro.analysis.formulas import (
+    co_sort_reads,
+    co_sort_writes,
+    fft_writes,
+    matmul_co_classic_transfers,
+)
+from repro.analysis.recurrences import (
+    co_sort_read_recurrence,
+    co_sort_write_recurrence,
+    fft_write_recurrence,
+    matmul_write_recurrence,
+    ratio_track,
+)
+
+SIZES = [2**14, 2**17, 2**20, 2**23]
+M, OMEGA, B = 1024, 8, 16
+
+
+def _flat(ratios: list[float], spread: float) -> bool:
+    return max(ratios) / min(ratios) < spread
+
+
+def test_co_sort_write_recurrence_matches_theorem_51():
+    ratios = ratio_track(co_sort_write_recurrence, co_sort_writes, SIZES, M, OMEGA, B)
+    assert all(0.05 < r < 50 for r in ratios)
+    assert _flat(ratios, 4.0), f"write recurrence diverges from closed form: {ratios}"
+
+
+def test_co_sort_read_recurrence_matches_theorem_51():
+    ratios = ratio_track(co_sort_read_recurrence, co_sort_reads, SIZES, M, OMEGA, B)
+    assert _flat(ratios, 4.0), f"read recurrence diverges from closed form: {ratios}"
+
+
+def test_co_sort_read_write_gap_is_omega():
+    """The solved recurrences must exhibit the Theta(omega) read/write gap."""
+    for n in SIZES:
+        r = co_sort_read_recurrence(n, M, OMEGA, B)
+        w = co_sort_write_recurrence(n, M, OMEGA, B)
+        assert OMEGA / 3 < r / w <= OMEGA * 1.01
+
+
+def test_fft_write_recurrence_matches_section_52():
+    ratios = ratio_track(fft_write_recurrence, fft_writes, SIZES, M, OMEGA, B)
+    assert _flat(ratios, 4.0), f"FFT recurrence diverges: {ratios}"
+
+
+def test_matmul_fixed_recurrence_saving_oscillates_up_to_omega():
+    """W(n) = omega^3 W(n/omega) solves to n^3/(mB) where m is the base-case
+    landing size in (sqrt(M), omega*sqrt(M)] — so the write saving over the
+    classic Theta(n^3/(B sqrt M)) oscillates in (1, omega] depending on n's
+    position between powers of omega.  (This oscillation is precisely what
+    the paper's randomized first round exists to smooth.)"""
+    savings = []
+    for n in (2**10, 2**11, 2**12, 2**13, 2**14):
+        w = matmul_write_recurrence(n, M, OMEGA, B)
+        savings.append(matmul_co_classic_transfers(n, M, B) / w)
+    assert all(1.0 - 1e-9 <= s <= OMEGA + 1e-9 for s in savings), savings
+    assert max(savings) / min(savings) > 1.5  # the oscillation is real
+
+
+def test_matmul_randomized_first_round_smooths_the_saving():
+    """Theorem 5.3's randomization: the expected saving sits strictly
+    between the fixed recursion's extremes and at least ~log2(omega)/2."""
+    import math
+
+    from repro.analysis.recurrences import matmul_write_recurrence_randomized
+
+    savings = []
+    for n in (2**10, 2**11, 2**12, 2**13, 2**14):
+        w = matmul_write_recurrence_randomized(n, M, OMEGA, B)
+        savings.append(matmul_co_classic_transfers(n, M, B) / w)
+    # smoother than the fixed recursion...
+    assert max(savings) / min(savings) < 3.0, savings
+    # ...and the expected improvement is Omega(log omega)
+    assert min(savings) > math.log2(OMEGA) / 2, savings
+
+
+def test_recurrences_monotone_in_n():
+    for fn in (
+        co_sort_write_recurrence,
+        co_sort_read_recurrence,
+        fft_write_recurrence,
+        matmul_write_recurrence,
+    ):
+        values = [fn(n, M, OMEGA, B) for n in SIZES[:3]]
+        assert values == sorted(values)

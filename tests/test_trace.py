@@ -1,0 +1,73 @@
+"""Tests for trace capture, statistics, and synthetic trace generators."""
+
+from repro.models import MachineParams
+from repro.models.trace import (
+    capture_trace,
+    compare_policies,
+    looping_trace,
+    random_trace,
+    trace_stats,
+    zipf_trace,
+)
+
+
+def test_capture_trace_records_block_accesses():
+    params = MachineParams(M=16, B=4, omega=4)
+
+    def computation(cache):
+        arr = cache.array(list(range(12)))
+        for i in range(12):
+            arr[i]
+        arr[0] = 1
+
+    trace = capture_trace(computation, params)
+    assert len(trace) == 13
+    assert trace[-1][1] is True  # the single write
+    assert all(not w for _b, w in trace[:12])
+
+
+def test_trace_stats():
+    stats = trace_stats([(0, False), (1, True), (0, True)])
+    assert stats["accesses"] == 3
+    assert stats["writes"] == 2
+    assert stats["distinct_blocks"] == 2
+    assert abs(stats["write_fraction"] - 2 / 3) < 1e-12
+
+
+def test_trace_stats_empty():
+    assert trace_stats([])["write_fraction"] == 0.0
+
+
+def test_random_trace_shape():
+    t = random_trace(1000, 32, write_fraction=0.5, seed=1)
+    assert len(t) == 1000
+    assert {b for b, _w in t} <= set(range(32))
+    writes = sum(1 for _b, w in t if w)
+    assert 350 < writes < 650
+
+
+def test_looping_trace_cycles():
+    t = looping_trace(3, 5, seed=2)
+    assert [b for b, _w in t] == list(range(5)) * 3
+
+
+def test_zipf_trace_skew():
+    t = zipf_trace(5000, 64, skew=1.5, seed=3)
+    count0 = sum(1 for b, _w in t if b == 0)
+    count_last = sum(1 for b, _w in t if b == 63)
+    assert count0 > 10 * max(count_last, 1)
+
+
+def test_traces_deterministic():
+    assert random_trace(100, 8, seed=9) == random_trace(100, 8, seed=9)
+    assert zipf_trace(100, 8, seed=9) == zipf_trace(100, 8, seed=9)
+
+
+def test_compare_policies_returns_all():
+    params = MachineParams(M=16, B=4, omega=4)
+    trace = random_trace(500, 16, seed=4)
+    result = compare_policies(trace, params)
+    assert set(result) == {"lru", "rwlru", "belady"}
+    # Belady minimises misses among the three
+    assert result["belady"].block_reads <= result["lru"].block_reads
+    assert result["belady"].block_reads <= result["rwlru"].block_reads

@@ -1,0 +1,89 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    adversarial_merge_killer,
+    few_distinct,
+    gaussian_keys,
+    nearly_sorted,
+    random_permutation,
+    reverse_sorted,
+    sorted_run,
+    uniform_ints,
+    zipf_keys,
+)
+
+ALL_GENERATORS = [
+    random_permutation,
+    sorted_run,
+    reverse_sorted,
+    nearly_sorted,
+    few_distinct,
+    gaussian_keys,
+    zipf_keys,
+]
+
+
+@pytest.mark.parametrize("gen", ALL_GENERATORS)
+def test_length_and_uniqueness(gen):
+    data = gen(500)
+    assert len(data) == 500
+    assert len(set(data)) == 500, "keys must be unique (§2 requirement)"
+
+
+@pytest.mark.parametrize("gen", [random_permutation, nearly_sorted, few_distinct])
+def test_seed_reproducibility(gen):
+    assert gen(200, seed=5) == gen(200, seed=5)
+    assert gen(200, seed=5) != gen(200, seed=6)
+
+
+def test_random_permutation_is_permutation():
+    assert sorted(random_permutation(300, seed=1)) == list(range(300))
+
+
+def test_sorted_and_reverse():
+    assert sorted_run(10) == list(range(10))
+    assert reverse_sorted(10) == list(range(9, -1, -1))
+
+
+def test_nearly_sorted_is_mostly_sorted():
+    data = nearly_sorted(1000, swaps=10, seed=2)
+    inversions_at = sum(1 for i in range(999) if data[i] > data[i + 1])
+    assert inversions_at < 50
+
+
+def test_uniform_ints_unique_and_in_range():
+    data = uniform_ints(100, lo=0, hi=1000, seed=3)
+    assert len(set(data)) == 100
+    assert all(0 <= x < 1000 for x in data)
+
+
+def test_uniform_ints_range_too_small():
+    with pytest.raises(ValueError):
+        uniform_ints(100, lo=0, hi=50)
+
+
+def test_few_distinct_groups_classes():
+    data = few_distinct(100, distinct=4, seed=4)
+    classes = {x // 100 for x in data}
+    assert classes <= set(range(4))
+
+
+def test_adversarial_striping_structure():
+    data = adversarial_merge_killer(100, l=4)
+    assert sorted(data) == list(range(100))
+    # first chunk is the stride-l residue class 0
+    assert data[:5] == [0, 4, 8, 12, 16]
+
+
+def test_adversarial_rejects_bad_l():
+    with pytest.raises(ValueError):
+        adversarial_merge_killer(10, l=0)
+
+
+def test_zipf_skew_produces_heavy_head():
+    data = zipf_keys(2000, skew=1.5, seed=6)
+    classes = [x // 2000 for x in data]
+    head = sum(1 for c in classes if c == 0)
+    assert head > len(classes) / 10  # class 0 clearly over-represented

@@ -1,0 +1,185 @@
+"""Tests for the §3 write-efficient dictionary and priority queue."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures.write_efficient import WriteEfficientDict, WriteEfficientPQ
+
+
+class TestDict:
+    def test_insert_search(self):
+        d = WriteEfficientDict()
+        d.insert(3, "c")
+        d.insert(1, "a")
+        assert d.search(3) == "c"
+        assert d.search(2) is None
+        assert 1 in d and 2 not in d
+        assert len(d) == 2
+
+    def test_delete_tombstones(self):
+        d = WriteEfficientDict()
+        for k in range(20):
+            d.insert(k, k * 10)
+        d.delete(7)
+        assert d.search(7) is None
+        assert len(d) == 19
+        with pytest.raises(KeyError):
+            d.delete(7)
+        with pytest.raises(KeyError):
+            d.delete(1000)
+
+    def test_compaction_triggers(self):
+        d = WriteEfficientDict()
+        for k in range(100):
+            d.insert(k, k)
+        for k in range(80):
+            d.delete(k)
+        assert d.compactions >= 1
+        assert [k for k, _v in d.items_in_order()] == list(range(80, 100))
+
+    def test_search_writes_nothing(self):
+        d = WriteEfficientDict()
+        for k in range(64):
+            d.insert(k, k)
+        before = d.counter.element_writes
+        for k in range(64):
+            d.search(k)
+        assert d.counter.element_writes == before
+
+    def test_amortized_writes_constant(self):
+        """insert+delete mix: writes per operation flat in n."""
+        per_op = {}
+        for n in (1000, 8000):
+            d = WriteEfficientDict()
+            rng = random.Random(1)
+            keys = list(range(n))
+            rng.shuffle(keys)
+            for k in keys:
+                d.insert(k, k)
+            for k in keys[: n // 2]:
+                d.delete(k)
+            per_op[n] = d.counter.element_writes / (1.5 * n)
+        assert per_op[8000] < per_op[1000] * 1.25
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.booleans()), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_against_dict(self, ops):
+        d = WriteEfficientDict()
+        ref: dict = {}
+        for key, is_delete in ops:
+            if is_delete:
+                if key in ref:
+                    del ref[key]
+                    d.delete(key)
+            elif key not in ref:
+                ref[key] = key * 2
+                d.insert(key, key * 2)
+        assert sorted(ref.items()) == list(d.items_in_order())
+        for k in range(51):
+            assert d.search(k) == ref.get(k)
+
+
+class TestPQ:
+    def test_basic_order(self):
+        pq = WriteEfficientPQ()
+        for x in [5, 1, 4, 2, 3]:
+            pq.insert(x)
+        assert pq.peek_min() == 1
+        assert [pq.delete_min() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_empty_raises(self):
+        pq = WriteEfficientPQ()
+        with pytest.raises(IndexError):
+            pq.delete_min()
+        with pytest.raises(IndexError):
+            pq.peek_min()
+
+    def test_interleaved_against_heapq(self):
+        pq = WriteEfficientPQ()
+        ref: list = []
+        rng = random.Random(2)
+        next_key = 0
+        for _ in range(3000):
+            if ref and rng.random() < 0.45:
+                assert pq.delete_min() == heapq.heappop(ref)
+            else:
+                # mix of ascending and below-minimum inserts
+                key = next_key if rng.random() < 0.8 else -next_key
+                next_key += 1
+                pq.insert(key)
+                heapq.heappush(ref, key)
+        while ref:
+            assert pq.delete_min() == heapq.heappop(ref)
+
+    def test_rebuild_triggers_on_insert_with_many_dead(self):
+        pq = WriteEfficientPQ()
+        for x in range(200):
+            pq.insert(x)
+        for _ in range(150):
+            pq.delete_min()
+        assert pq.rebuilds == 0  # pure drains never rebuild
+        pq.insert(1000)  # an insert with 150 dead vs 50 live compacts first
+        assert pq.rebuilds == 1
+        assert len(pq) == 51
+        assert pq.delete_min() == 150
+
+    def test_writes_beat_binary_heap(self):
+        """The §3 separation at the PQ interface: O(n) vs Θ(n log n) writes
+        for an n-insert + n-delete-min sort workload."""
+        from repro.datastructures.heaps import InstrumentedBinaryHeap
+
+        n = 8000
+        keys = list(range(n))
+        random.Random(3).shuffle(keys)
+
+        pq = WriteEfficientPQ()
+        for k in keys:
+            pq.insert(k)
+        out = [pq.delete_min() for _ in range(n)]
+        assert out == sorted(keys)
+
+        heap = InstrumentedBinaryHeap()
+        for k in keys:
+            heap.push(k)
+        for _ in range(n):
+            heap.pop_min()
+
+        assert pq.counter.element_writes < heap.counter.element_writes / 1.5
+
+    def test_pq_writes_per_op_flat(self):
+        per_op = {}
+        for n in (1000, 8000):
+            pq = WriteEfficientPQ()
+            keys = list(range(n))
+            random.Random(4).shuffle(keys)
+            for k in keys:
+                pq.insert(k)
+            for _ in range(n):
+                pq.delete_min()
+            per_op[n] = pq.counter.element_writes / (2 * n)
+        assert per_op[8000] < per_op[1000] * 1.25
+
+    @given(
+        ops=st.lists(
+            st.one_of(st.integers(0, 10_000), st.none()), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_against_heapq(self, ops):
+        pq = WriteEfficientPQ()
+        ref: list = []
+        seen = set()
+        for op in ops:
+            if op is None:
+                if ref:
+                    assert pq.delete_min() == heapq.heappop(ref)
+            elif op not in seen:
+                seen.add(op)
+                pq.insert(op)
+                heapq.heappush(ref, op)
+        while ref:
+            assert pq.delete_min() == heapq.heappop(ref)
