@@ -20,7 +20,7 @@ Quickstart
 True
 """
 
-from .api import SortReport, sort_external, sort_ram
+from .api import SortReport, sort_auto, sort_external, sort_ram
 from .core import (
     AEMPriorityQueue,
     BufferTree,
@@ -40,12 +40,14 @@ from .models import (
     MemoryGuard,
     SimArray,
 )
+from .planner import BatchReport, SortJob, SortPlan, plan_sort, rank_plans, run_batch
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AEMPriorityQueue",
     "AEMachine",
+    "BatchReport",
     "BufferTree",
     "CacheSim",
     "CostCounter",
@@ -54,12 +56,18 @@ __all__ = [
     "MachineParams",
     "MemoryGuard",
     "SimArray",
+    "SortJob",
+    "SortPlan",
     "SortReport",
     "aem_heapsort",
     "aem_mergesort",
     "aem_samplesort",
     "bst_sort",
+    "plan_sort",
+    "rank_plans",
+    "run_batch",
     "selection_sort",
+    "sort_auto",
     "sort_external",
     "sort_ram",
     "__version__",

@@ -8,11 +8,19 @@ Subcommands
     Sort a random permutation and print the cost report.
 ``tune --n N [--M M] [--B B] [--omega W]``
     Print the Appendix-A k sweep for a machine.
+``plan --n N [--M M] [--B B] [--omega W]``
+    Rank every algorithm by exact predicted asymmetric I/O cost (the
+    cost-model planner behind ``sort_auto``) without executing anything.
+``batch --jobs J --n N [--mix S1,S2,...] [--workers W] [--check]``
+    Run many adaptive sort jobs concurrently over a mixed workload
+    (scenarios from ``repro.workloads.SCENARIOS``) and print the aggregated
+    throughput report plus the per-algorithm routing mix.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 import time
 
@@ -21,7 +29,8 @@ from .analysis.tables import format_table
 from .api import sort_external
 from .experiments import ALL_EXPERIMENTS
 from .models.params import MachineParams
-from .workloads import random_permutation
+from .planner import SortJob, rank_plans, run_batch
+from .workloads import SCENARIOS, make_scenario, random_permutation
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -71,6 +80,60 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    ranked = rank_plans(args.n, params, k_max=args.k_max)
+    rows = [
+        {
+            "rank": i,
+            "algorithm": c.algorithm,
+            "k": c.k if c.k is not None else "-",
+            "pred reads": c.predicted_reads,
+            "pred writes": c.predicted_writes,
+            "pred cost R+wW": c.predicted_cost,
+            "model": c.model,
+        }
+        for i, c in enumerate(ranked)
+    ]
+    print(format_table(rows, title=f"predicted plan for n={args.n} on {params}"))
+    best = ranked[0]
+    k_note = f" with k={best.k}" if best.k is not None else ""
+    print(f"\nchosen: {best.algorithm}{k_note} (predicted cost {best.predicted_cost:g})")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    mix = [s.strip() for s in args.mix.split(",") if s.strip()]
+    unknown = [s for s in mix if s not in SCENARIOS]
+    if not mix or unknown:
+        print(f"unknown scenarios: {unknown or args.mix!r}; choose from {sorted(SCENARIOS)}")
+        return 2
+    rng = random.Random(args.seed)
+    n_lo = args.min_n if args.min_n is not None else max(1, args.n // 4)
+    jobs = []
+    for i in range(args.jobs):
+        scenario = mix[i % len(mix)]
+        n = rng.randint(min(n_lo, args.n), args.n)
+        jobs.append(
+            SortJob(
+                data=make_scenario(scenario, n, seed=args.seed + i),
+                params=params,
+                label=f"{scenario}/n={n}",
+                algorithm=args.algorithm,
+            )
+        )
+    t0 = time.time()
+    report = run_batch(jobs, max_workers=args.workers, check_sorted=args.check)
+    print(format_table([report.summary()], title=f"batch of {args.jobs} jobs on {params}"))
+    print()
+    print(format_table(report.mix_rows(), title="per-algorithm routing mix"))
+    for f in report.failures:
+        print(f"FAILED job {f.index} ({f.label}): {f.error!r}")
+    print(f"\n[{args.jobs} jobs, {len(report.failures)} failed, {time.time() - t0:.1f}s]")
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -101,6 +164,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--omega", type=int, default=8)
     p_tune.add_argument("--k-max", type=int, default=None)
     p_tune.set_defaults(fn=_cmd_tune)
+
+    p_plan = sub.add_parser("plan", help="rank algorithms by predicted cost")
+    p_plan.add_argument("--n", type=int, default=10_000)
+    p_plan.add_argument("--M", type=int, default=64)
+    p_plan.add_argument("--B", type=int, default=8)
+    p_plan.add_argument("--omega", type=int, default=8)
+    p_plan.add_argument("--k-max", type=int, default=None)
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    p_batch = sub.add_parser("batch", help="run many adaptive sorts concurrently")
+    p_batch.add_argument("--jobs", type=int, default=50)
+    p_batch.add_argument("--n", type=int, default=2_000,
+                         help="max records per job (per-job n drawn in [min-n, n])")
+    p_batch.add_argument("--min-n", type=int, default=None,
+                         help="min records per job (default: n//4)")
+    p_batch.add_argument("--mix", default="uniform,presorted,reversed,duplicates",
+                         help=f"comma-separated scenarios from {sorted(SCENARIOS)}")
+    p_batch.add_argument("--algorithm", default=None,
+                         choices=["mergesort", "samplesort", "heapsort", "selection", "ram"],
+                         help="pin every job to one algorithm (default: plan per job)")
+    p_batch.add_argument("--M", type=int, default=64)
+    p_batch.add_argument("--B", type=int, default=8)
+    p_batch.add_argument("--omega", type=int, default=8)
+    p_batch.add_argument("--workers", type=int, default=None)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--check", action="store_true",
+                         help="verify every output is sorted")
+    p_batch.set_defaults(fn=_cmd_batch)
     return parser
 
 

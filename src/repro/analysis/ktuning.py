@@ -31,7 +31,7 @@ def k_improves(k: int, params: MachineParams) -> bool:
     mb = params.M / params.B
     if mb <= 1:
         return False
-    return k / math.log2(k) < (params.omega + 1) / math.log2(mb)
+    return k / math.log2(k) < params.omega / math.log2(mb)
 
 
 def feasible_k_region(params: MachineParams, k_max: int | None = None) -> list[int]:
@@ -72,10 +72,12 @@ def choose_k(params: MachineParams, n: int | None = None) -> int:
     nb = max(2.0, n / params.B)
     mb = params.M / params.B
     p = max(1, math.ceil(math.log(nb) / math.log(max(mb, 2))))
+    # k = 1 (the classic algorithm) is always a candidate; every k > 1 must
+    # pass the Corollary 4.4 feasibility test before entering the tournament.
     candidates = {1}
     for p_prime in range(1, p + 1):
         k = math.ceil(nb ** (1.0 / p_prime) / mb)
-        if k >= 1:
+        if k > 1 and k_improves(k, params):
             candidates.add(k)
     best = min(
         candidates,

@@ -8,6 +8,7 @@ for fine-grained control.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -33,19 +34,31 @@ class SortReport:
     #: primary-memory high-water mark in records (external sorts only)
     memory_high_water: int = 0
     extras: dict = field(default_factory=dict)
+    #: which counter granularity this report's model charges: ``"block"``
+    #: (AEM/external sorts) or ``"element"`` (RAM sorts).  Explicit so that a
+    #: legitimate zero (e.g. an external sort of an empty input performs zero
+    #: block reads) is reported as 0 rather than silently falling back to the
+    #: other granularity's tally.
+    granularity: str = "block"
 
     @property
     def reads(self) -> int:
         """Block reads (external models) or element reads (RAM model)."""
-        return self.counter.block_reads or self.counter.element_reads
+        if self.granularity == "element":
+            return self.counter.element_reads
+        return self.counter.block_reads
 
     @property
     def writes(self) -> int:
         """Block writes (external models) or element writes (RAM model)."""
-        return self.counter.block_writes or self.counter.element_writes
+        if self.granularity == "element":
+            return self.counter.element_writes
+        return self.counter.block_writes
 
     def cost(self, omega: int | None = None) -> float:
-        """Asymmetric I/O cost ``reads + omega * writes``."""
+        """Asymmetric I/O cost ``reads + omega * writes`` at this report's
+        granularity (consistent with :attr:`reads` / :attr:`writes`, including
+        the zero-transfer case)."""
         if omega is None:
             if self.params is None:
                 raise ValueError("omega required when no machine params are attached")
@@ -109,6 +122,7 @@ def sort_external(
         counter=machine.counter,
         memory_high_water=guard.high_water,
         extras={"k": k},
+        granularity="block",
     )
 
 
@@ -130,4 +144,61 @@ def sort_ram(data: Sequence, algorithm: str = "bst-rb") -> SortReport:
         params=None,
         output=out,
         counter=counter,
+        granularity="element",
     )
+
+
+def sort_auto(
+    data: Sequence,
+    params: MachineParams,
+    algorithms: tuple[str, ...] | None = None,
+) -> SortReport:
+    """Sort ``data`` with the cost-model-chosen best algorithm.
+
+    Builds a ranked :class:`~repro.planner.cost_model.SortPlan` from the
+    paper's exact predicted bounds (Theorems 4.3/4.5/4.10, Lemma 4.2, and the
+    in-memory case when ``n <= M``) and executes the winner: external
+    algorithms run through :func:`sort_external` with the plan's branching
+    factor ``k``; the ``ram`` plan runs the §3 BST sort via :func:`sort_ram`.
+
+    The returned report carries the full plan in ``extras["plan"]`` (chosen
+    candidate plus the ranked alternatives) so callers can audit the routing
+    decision.  ``algorithms`` optionally restricts the candidate field.
+    """
+    from .planner.cost_model import plan_sort
+
+    plan = plan_sort(len(data), params, algorithms=algorithms)
+    chosen = plan.chosen
+    if chosen.model == "ram":
+        report = ram_report_on_machine(data, params)
+    else:
+        report = sort_external(data, params, algorithm=chosen.algorithm, k=chosen.k)
+    report.extras["plan"] = plan.as_dict()
+    return report
+
+
+def ram_report_on_machine(data: Sequence, params: MachineParams) -> SortReport:
+    """Run the §3 BST sort on an input that fits in primary memory, reported
+    at the AEM machine's *block* granularity.
+
+    The AEM cost of the in-memory plan is its transfer cost — one scan in
+    (``ceil(n/B)`` block reads), sort for free in primary memory, one stream
+    out (``ceil(n/B)`` block writes) — so the report is commensurable with
+    external-sort reports and with the planner's predictions (the in-memory
+    element tallies stay visible on ``report.counter``).
+
+    Raises ``ValueError`` when ``n > M`` — the input would not fit in primary
+    memory, exactly as :func:`repro.planner.cost_model.predict_candidate`
+    rejects the ``ram`` plan for such an ``n``.
+    """
+    if len(data) > params.M:
+        raise ValueError(
+            f"ram sort requires n <= M, got n={len(data)} > M={params.M}"
+        )
+    report = sort_ram(data, algorithm="bst-rb")
+    report.params = params
+    blocks = math.ceil(len(data) / params.B)
+    report.counter.charge_block_read(blocks)
+    report.counter.charge_block_write(blocks)
+    report.granularity = "block"
+    return report

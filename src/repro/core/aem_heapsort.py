@@ -153,7 +153,7 @@ class AEMPriorityQueue:
         idx = 0
         pi = 0
         for bi in range(self._beta.num_blocks):
-            block = self.machine.read_block(self._beta, bi)
+            block = self.machine.read_block(self._beta, bi, copy=False)
             for rec in block:
                 while pi < len(pairs) and pairs[pi][0] < idx:
                     pi += 1

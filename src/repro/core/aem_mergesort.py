@@ -177,7 +177,7 @@ def _merge(
         bi = pointers[i]
         if bi >= run.num_blocks:
             return
-        block = machine.read_block(run, bi)
+        block = machine.read_block(run, bi, copy=False)
         for pos, rec in enumerate(block):
             if not admissible(rec):
                 continue

@@ -146,7 +146,7 @@ def _choose_splitters(
         if want >= offset + blk_len:
             offset += blk_len
             continue
-        block = machine.read_block(arr, bi)
+        block = machine.read_block(arr, bi, copy=False)
         while want is not None and want < offset + blk_len:
             sample_writer.append(block[want - offset])
             want = next(pos_iter, None)

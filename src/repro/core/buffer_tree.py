@@ -532,7 +532,7 @@ def _external_prefix_sort(machine: AEMachine, buf: ExtArray, prefix_len: int) ->
         for bi in range(buf.num_blocks):
             if seen >= prefix_len:
                 break
-            block = machine.read_block(buf, bi)
+            block = machine.read_block(buf, bi, copy=False)
             for rec in block:
                 if seen >= prefix_len:
                     break
@@ -575,7 +575,7 @@ def _skip_stream(machine: AEMachine, arr: ExtArray, skip: int):
         if offset + blk_len <= skip:
             offset += blk_len
             continue
-        block = machine.read_block(arr, bi)
+        block = machine.read_block(arr, bi, copy=False)
         start = max(0, skip - offset)
         for rec in block[start:]:
             yield rec

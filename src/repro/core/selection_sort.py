@@ -52,7 +52,7 @@ def selection_sort(
         # In-memory work is free in the model; we use a bounded max-heap.
         working: list = []  # max-heap via negated keys
         for bi in range(arr.num_blocks):
-            block = machine.read_block(arr, bi)
+            block = machine.read_block(arr, bi, copy=False)
             for rec in block:
                 if last_max is not None and rec <= last_max:
                     continue

@@ -54,9 +54,33 @@ class WriteEfficientDict:
         return self._live
 
     def insert(self, key, value) -> None:
-        """Insert a new key (keys are unique, §2)."""
-        self._tree.insert(key, value)
+        """Insert a new key (keys are unique, §2).
+
+        Re-inserting a tombstoned key resurrects it in place — one value
+        write, no structural writes — keeping delete → insert → delete
+        sequences legal, as for a plain dictionary.
+        """
+        try:
+            self._tree.insert(key, value)
+        except ValueError:
+            # key already in the tree: legal only if it is a tombstone
+            node = self._find_node(key)
+            if node is None or node.value is not _TOMBSTONE:
+                raise
+            node.value = value
+            self.counter.charge_write()
+            self._dead -= 1
         self._live += 1
+
+    def _find_node(self, key):
+        """Descend to ``key``'s node (one read per node), or ``None``."""
+        node = self._tree.root
+        while node is not None:
+            self.counter.charge_read()
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
 
     def search(self, key):
         """Return the value for ``key``, or ``None``; zero writes."""
@@ -68,21 +92,15 @@ class WriteEfficientDict:
 
     def delete(self, key) -> None:
         """Tombstone ``key`` (one write); compact once half the tree is dead."""
-        node = self._tree.root
-        while node is not None:
-            self.counter.charge_read()
-            if key == node.key:
-                if node.value is _TOMBSTONE:
-                    raise KeyError(key)
-                node.value = _TOMBSTONE
-                self.counter.charge_write()
-                self._live -= 1
-                self._dead += 1
-                if self._dead > max(8, self._live):
-                    self._compact()
-                return
-            node = node.left if key < node.key else node.right
-        raise KeyError(key)
+        node = self._find_node(key)
+        if node is None or node.value is _TOMBSTONE:
+            raise KeyError(key)
+        node.value = _TOMBSTONE
+        self.counter.charge_write()
+        self._live -= 1
+        self._dead += 1
+        if self._dead > max(8, self._live):
+            self._compact()
 
     def _compact(self) -> None:
         items = []

@@ -65,10 +65,16 @@ class MemoryGuard:
             )
 
     def release(self, n: int) -> None:
-        """Declare that ``n`` records left primary memory."""
+        """Declare that ``n`` records left primary memory.
+
+        Validates *before* mutating: a rejected release leaves ``in_use``
+        unchanged, so accounting stays consistent after the error.
+        """
+        if n > self.in_use:
+            raise ValueError(
+                f"MemoryGuard released {n} records with only {self.in_use} in use"
+            )
         self.in_use -= n
-        if self.in_use < 0:
-            raise ValueError("MemoryGuard released more than acquired")
 
     def reset(self) -> None:
         self.in_use = 0
@@ -97,8 +103,22 @@ class ExtArray:
 
     @property
     def num_blocks(self) -> int:
-        """Number of blocks occupied, ``ceil(length / B)``."""
+        """Number of *physical* blocks occupied.
+
+        Equals ``ceil(length / B)`` for a freshly written array, but may
+        exceed it after zero-I/O structural operations: ``concat`` keeps each
+        input's partial final block as a partial block *inside* the result,
+        and ``_ensure_block`` may add empty placeholder blocks.  Scans and
+        readers iterate physical blocks, so charged costs honestly reflect
+        that fragmentation.  For the defragmented count use
+        :attr:`logical_blocks`.
+        """
         return len(self._blocks)
+
+    @property
+    def logical_blocks(self) -> int:
+        """``ceil(length / B)`` — blocks a defragmented copy would occupy."""
+        return -(-self.length // self.B)
 
     def peek_list(self) -> list:
         """Uncharged flat copy — verification only (never inside algorithms)."""
@@ -161,12 +181,19 @@ class AEMachine:
     # ------------------------------------------------------------------ #
     # the two transfer instructions of the model
     # ------------------------------------------------------------------ #
-    def read_block(self, arr: ExtArray, bi: int) -> list:
-        """Transfer block ``bi`` of ``arr`` into primary memory (cost 1)."""
+    def read_block(self, arr: ExtArray, bi: int, *, copy: bool = True) -> list:
+        """Transfer block ``bi`` of ``arr`` into primary memory (cost 1).
+
+        By default the caller receives a private copy, matching the model's
+        "transfers move copies" semantics.  Read-only scans may pass
+        ``copy=False`` to receive the resident block itself — same charge,
+        no copy — but MUST NOT mutate it.
+        """
         if bi < 0 or bi >= len(arr._blocks):
             raise IndexError(f"block {bi} out of range for array with {len(arr._blocks)} blocks")
         self.counter.charge_block_read()
-        return list(arr._blocks[bi])
+        blk = arr._blocks[bi]
+        return list(blk) if copy else blk
 
     def write_block(self, arr: ExtArray, bi: int, values: list) -> None:
         """Transfer ``values`` from primary memory into block ``bi`` (cost ω).
@@ -235,10 +262,13 @@ class AEMachine:
     # derived helpers (cost-equivalent compositions of the two transfers)
     # ------------------------------------------------------------------ #
     def scan(self, arr: ExtArray) -> Iterator:
-        """Yield every record of ``arr`` in order, charging 1 read per block."""
+        """Yield every record of ``arr`` in order, charging 1 read per block.
+
+        Read-only: blocks are streamed without the defensive copy of
+        :meth:`read_block`, since only individual records are exposed.
+        """
         for bi in range(arr.num_blocks):
-            for rec in self.read_block(arr, bi):
-                yield rec
+            yield from self.read_block(arr, bi, copy=False)
 
     def blocks_of(self, n: int) -> int:
         """``ceil(n / B)`` — the number of blocks ``n`` records occupy."""
@@ -278,9 +308,15 @@ class BlockReader:
         return self.current
 
     def records(self) -> Iterator:
-        """Stream all remaining records, charging one read per block."""
+        """Stream all remaining records, charging one read per block.
+
+        Read-only fast path: unlike :meth:`load_next`, the transferred block
+        is not copied (only records are yielded, never the block itself).
+        """
         while not self.exhausted:
-            yield from self.load_next()
+            self.current = self.machine.read_block(self.arr, self.next_block, copy=False)
+            self.next_block += 1
+            yield from self.current
 
 
 class BlockWriter:
@@ -308,8 +344,33 @@ class BlockWriter:
             self._flush()
 
     def extend(self, recs: Iterable) -> None:
-        for rec in recs:
-            self.append(rec)
+        """Append many records, flushing at block granularity.
+
+        Cost-equivalent to repeated :meth:`append` (identical block-write
+        count and block contents), but full blocks are sliced straight out of
+        ``recs`` instead of growing the buffer one record at a time.
+        """
+        if self.closed:
+            raise RuntimeError("BlockWriter already closed")
+        if not isinstance(recs, (list, tuple)):
+            recs = list(recs)
+        B = self.machine.params.B
+        total = len(recs)
+        pos = 0
+        if self._buf:  # top up the resident partial block first
+            take = min(B - len(self._buf), total)
+            self._buf.extend(recs[:take])
+            self.written += take
+            pos = take
+            if len(self._buf) == B:
+                self._flush()
+        while total - pos >= B:
+            self.machine.write_block(self.arr, self.arr.num_blocks, recs[pos : pos + B])
+            self.written += B
+            pos += B
+        if pos < total:
+            self._buf.extend(recs[pos:])
+            self.written += total - pos
 
     def _flush(self) -> None:
         if self._buf:

@@ -1,0 +1,40 @@
+"""Adaptive sort planning and batch execution.
+
+The paper's headline message is that the *best* sorting algorithm depends on
+the machine ``(M, B, omega)`` and the input size ``n``: Theorem 4.3
+(mergesort), Theorem 4.5 (sample sort), Theorem 4.10 (heapsort via the
+buffer-tree priority queue) and Lemma 4.2 (selection base case) trade reads
+against writes differently, and Corollary 4.4 bounds the useful branching
+factors.  This subsystem turns those closed forms into an executable planner:
+
+* :mod:`~repro.planner.cost_model` — rank every algorithm (with its own best
+  ``k``) by exact predicted asymmetric I/O cost and emit a :class:`SortPlan`;
+* :mod:`~repro.planner.batch` — execute many planned sort jobs concurrently
+  (``concurrent.futures``) and aggregate their reports into a throughput
+  summary.
+
+The :func:`repro.api.sort_auto` façade and the ``python -m repro plan`` /
+``batch`` CLI subcommands are thin wrappers over these two modules.
+"""
+
+from .batch import BatchReport, SortJob, run_batch
+from .cost_model import (
+    PLANNABLE_ALGORITHMS,
+    PlanCandidate,
+    SortPlan,
+    plan_sort,
+    predict_candidate,
+    rank_plans,
+)
+
+__all__ = [
+    "BatchReport",
+    "PLANNABLE_ALGORITHMS",
+    "PlanCandidate",
+    "SortJob",
+    "SortPlan",
+    "plan_sort",
+    "predict_candidate",
+    "rank_plans",
+    "run_batch",
+]

@@ -1,0 +1,170 @@
+"""Batch execution: plan → execute over ``concurrent.futures``.
+
+Production traffic is many sort requests, not one; this module runs a list of
+:class:`SortJob`\\ s concurrently and aggregates the per-job
+:class:`~repro.api.SortReport`\\ s into a :class:`BatchReport` throughput
+summary (jobs/s, records/s, total asymmetric I/O cost, per-algorithm mix).
+
+Jobs default to adaptive planning (:func:`repro.api.sort_auto`); a job may
+pin ``algorithm`` (and ``k``) to force a specific strategy.  One failing job
+does not abort the batch — failures are captured per job and reported.
+
+The executor uses threads: the simulated machines are independent (one
+:class:`~repro.models.external_memory.AEMachine` per job, no shared counters)
+so jobs are trivially parallelisable; under CPython the GIL serialises the
+pure-Python simulation work, which is fine for the *model* costs this repo
+measures.  Process-pool sharding for wall-clock speedups is a ROADMAP item.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..models.params import MachineParams
+
+
+@dataclass
+class SortJob:
+    """One sort request: data + machine, optionally pinned to an algorithm."""
+
+    data: Sequence
+    params: MachineParams
+    label: str = ""
+    #: ``None`` → let the planner choose; otherwise one of
+    #: :data:`~repro.planner.cost_model.PLANNABLE_ALGORITHMS`
+    algorithm: str | None = None
+    k: int | None = None
+
+
+@dataclass
+class JobFailure:
+    """A job that raised, with enough context to reproduce it."""
+
+    index: int
+    label: str
+    error: Exception
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of one batch run."""
+
+    #: successful reports, in job-submission order
+    reports: list = field(default_factory=list)
+    failures: list[JobFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs_completed(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_records(self) -> int:
+        return sum(r.n for r in self.reports)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(r.reads for r in self.reports)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(r.writes for r in self.reports)
+
+    def total_cost(self) -> float:
+        """Summed per-job asymmetric cost (each at its own machine's omega)."""
+        return float(sum(r.cost() for r in self.reports))
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs_completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def records_per_second(self) -> float:
+        return self.total_records / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def algorithm_mix(self) -> dict[str, int]:
+        """How many jobs each algorithm won (by executed-report label)."""
+        return dict(Counter(r.algorithm for r in self.reports))
+
+    def summary(self) -> dict:
+        """One flat dict — the headline row of the batch."""
+        return {
+            "jobs": self.jobs_completed,
+            "failed": len(self.failures),
+            "records": self.total_records,
+            "reads": self.total_reads,
+            "writes": self.total_writes,
+            "cost": self.total_cost(),
+            "wall_s": round(self.wall_seconds, 4),
+            "jobs/s": round(self.jobs_per_second, 2),
+            "records/s": round(self.records_per_second, 1),
+        }
+
+    def mix_rows(self) -> list[dict]:
+        """Per-algorithm breakdown rows (for ``format_table``)."""
+        rows = []
+        for name, count in sorted(self.algorithm_mix().items()):
+            group = [r for r in self.reports if r.algorithm == name]
+            rows.append(
+                {
+                    "algorithm": name,
+                    "jobs": count,
+                    "records": sum(r.n for r in group),
+                    "reads": sum(r.reads for r in group),
+                    "writes": sum(r.writes for r in group),
+                    "cost": float(sum(r.cost() for r in group)),
+                }
+            )
+        return rows
+
+
+def _execute_job(job: SortJob):
+    # local import: api imports this package (sort_auto → planner)
+    from ..api import ram_report_on_machine, sort_auto, sort_external
+
+    if job.algorithm is None:
+        return sort_auto(job.data, job.params)
+    if job.algorithm == "ram":
+        # block-granularity report so batch aggregates stay in one currency
+        return ram_report_on_machine(job.data, job.params)
+    return sort_external(job.data, job.params, algorithm=job.algorithm, k=job.k)
+
+
+def run_batch(
+    jobs: Sequence[SortJob],
+    max_workers: int | None = None,
+    check_sorted: bool = False,
+) -> BatchReport:
+    """Execute ``jobs`` concurrently and aggregate their reports.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width; defaults to ``min(8, len(jobs))``.
+    check_sorted:
+        Verify every output is sorted (costs an extra O(n) pass per job);
+        a violation is recorded as that job's failure.
+    """
+    report = BatchReport()
+    if not jobs:
+        return report
+    if max_workers is None:
+        max_workers = min(8, len(jobs))
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(_execute_job, job) for job in jobs]
+        for i, (job, fut) in enumerate(zip(jobs, futures)):
+            try:
+                rep = fut.result()
+                if check_sorted and not rep.is_sorted():
+                    raise AssertionError(f"job {i} ({job.label!r}) output not sorted")
+                report.reports.append(rep)
+            except Exception as exc:  # noqa: BLE001 — captured per job by design
+                report.failures.append(JobFailure(index=i, label=job.label, error=exc))
+    report.wall_seconds = time.perf_counter() - t0
+    return report

@@ -1,0 +1,236 @@
+"""Cost-model-driven sort planning.
+
+For a given ``(n, MachineParams)`` the planner evaluates the paper's exact
+predicted I/O bounds (unit leading constants, block granularity — the same
+closed forms the experiments verify as hard upper bounds):
+
+* **mergesort** — Theorem 4.3: ``(k+1) ceil(n/B) L`` reads, ``ceil(n/B) L``
+  writes, ``L = ceil(log_{kM/B}(n/B))``;
+* **samplesort** — Theorem 4.5: ``k ceil(n/B) L`` reads, ``ceil(n/B) L``
+  writes;
+* **heapsort** — Theorem 4.10: ``2n`` priority-queue operations at amortized
+  ``(k/B)(1 + log_{kM/B} n)`` reads and ``(1/B)(1 + log_{kM/B} n)`` writes;
+* **selection** — Lemma 4.2: ``ceil(n/M) ceil(n/B)`` reads, ``ceil(n/B)``
+  writes (no branching parameter);
+* **ram** — when ``n <= M`` the input fits in primary memory: one scan in
+  (``ceil(n/B)`` reads), sort for free in memory, one stream out
+  (``ceil(n/B)`` writes).  Executed via :func:`repro.api.sort_ram` with the
+  paper's §3 BST sort (O(n log n) element reads, O(n) element writes).
+
+Each ``k``-parameterised algorithm is entered with its own best branching
+factor: the planner scans the Corollary 4.4 feasible region (``k = 1``, the
+classic algorithm, is always admissible) and keeps the cost minimiser.
+
+Because every form carries a unit leading constant, sample sort's
+``k ceil(n/B) L`` read bound dominates mergesort's ``(k+1) ceil(n/B) L`` by
+exactly one scan per level; mergesort therefore never wins the predicted
+ranking but remains listed for reporting and forced execution.
+
+Ties are broken deterministically: lower predicted cost first, then fewer
+predicted writes (writes are the expensive currency), then a fixed
+preference order (:data:`_TIE_PREFERENCE`) favouring the simplest machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis.formulas import (
+    mergesort_reads,
+    mergesort_writes,
+    samplesort_reads,
+    samplesort_writes,
+)
+from ..analysis.ktuning import feasible_k_region
+from ..core.aem_heapsort import predicted_amortized_reads, predicted_amortized_writes
+from ..core.selection_sort import predicted_reads as selection_reads
+from ..core.selection_sort import predicted_writes as selection_writes
+from ..models.params import MachineParams
+
+#: algorithms the planner knows how to rank (and execute via the api façade)
+PLANNABLE_ALGORITHMS = ("ram", "selection", "samplesort", "mergesort", "heapsort")
+
+#: tie-break preference: simplest machinery first (in-memory sort, then the
+#: single-pass-per-phase selection sort, then the recursive sorts, then the
+#: priority-queue heapsort)
+_TIE_PREFERENCE = {name: i for i, name in enumerate(PLANNABLE_ALGORITHMS)}
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One (algorithm, k) entry in a ranked plan."""
+
+    algorithm: str
+    #: chosen branching factor (``None`` for algorithms without one)
+    k: int | None
+    predicted_reads: float
+    predicted_writes: float
+    #: ``predicted_reads + omega * predicted_writes``
+    predicted_cost: float
+    #: ``"aem"`` (executed by :func:`repro.api.sort_external`) or ``"ram"``
+    model: str
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "predicted_reads": self.predicted_reads,
+            "predicted_writes": self.predicted_writes,
+            "predicted_cost": self.predicted_cost,
+            "model": self.model,
+        }
+
+
+@dataclass(frozen=True)
+class SortPlan:
+    """Ranked plan for one ``(n, params)`` sorting problem."""
+
+    n: int
+    params: MachineParams
+    ranked: tuple[PlanCandidate, ...]
+
+    @property
+    def chosen(self) -> PlanCandidate:
+        """The minimum-predicted-cost candidate (rank 0)."""
+        return self.ranked[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "params": str(self.params),
+            "chosen": self.chosen.as_dict(),
+            "ranked": [c.as_dict() for c in self.ranked],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# per-algorithm predicted bounds (block granularity, unit constants)
+# ---------------------------------------------------------------------- #
+def _heapsort_reads(n: int, M: int, B: int, k: int) -> float:
+    return 2 * n * predicted_amortized_reads(n, M, B, k)
+
+
+def _heapsort_writes(n: int, M: int, B: int, k: int) -> float:
+    return 2 * n * predicted_amortized_writes(n, M, B, k)
+
+
+_K_PARAMETERISED = {
+    "mergesort": (mergesort_reads, mergesort_writes),
+    "samplesort": (samplesort_reads, samplesort_writes),
+    "heapsort": (_heapsort_reads, _heapsort_writes),
+}
+
+
+def _best_k(n: int, params: MachineParams, algorithm: str, k_max: int | None) -> int | None:
+    """Minimise the algorithm's exact predicted cost over the Corollary 4.4
+    feasible region (``k = 1`` always admissible); ties go to the smaller k.
+
+    Returns ``None`` when no feasible k yields a merge fanout ``kM/B >= 2``
+    (an M = B machine, say): the recursion does not shrink there, so the
+    algorithm — and its closed forms — are undefined.
+    """
+    reads_fn, writes_fn = _K_PARAMETERISED[algorithm]
+    best_k, best_cost = None, None
+    for k in feasible_k_region(params, k_max):
+        if params.fanout(k) < 2:
+            continue
+        r = reads_fn(n, params.M, params.B, k)
+        w = writes_fn(n, params.M, params.B, k)
+        cost = r + params.omega * w
+        if best_cost is None or cost < best_cost:
+            best_k, best_cost = k, cost
+    return best_k
+
+
+def predict_candidate(
+    algorithm: str,
+    n: int,
+    params: MachineParams,
+    k: int | None = None,
+    k_max: int | None = None,
+) -> PlanCandidate:
+    """Predicted-cost entry for one algorithm (optimising ``k`` if not given).
+
+    ``algorithm`` is one of :data:`PLANNABLE_ALGORITHMS`; requesting ``"ram"``
+    with ``n > M`` raises ``ValueError`` (the input would not fit).
+    """
+    M, B, omega = params.M, params.B, params.omega
+    # scan lower bound: sorting n >= 1 external records touches every input
+    # block and writes every output block at least once.  Amortized forms
+    # (heapsort's Theorem 4.10) dip below this for tiny n; the floor keeps
+    # the ranking honest there.
+    floor = float(math.ceil(n / B))
+    if algorithm in _K_PARAMETERISED:
+        if k is None:
+            k = _best_k(n, params, algorithm, k_max)
+            if k is None:
+                raise ValueError(
+                    f"{algorithm} infeasible on {params}: merge fanout kM/B < 2 "
+                    "for every Corollary 4.4-feasible k"
+                )
+        reads_fn, writes_fn = _K_PARAMETERISED[algorithm]
+        r = max(float(reads_fn(n, M, B, k)), floor)
+        w = max(float(writes_fn(n, M, B, k)), floor)
+        return PlanCandidate(algorithm, k, r, w, r + omega * w, "aem")
+    if algorithm == "selection":
+        r = max(float(selection_reads(n, M, B)), floor)
+        w = max(float(selection_writes(n, B)), floor)
+        return PlanCandidate(algorithm, None, r, w, r + omega * w, "aem")
+    if algorithm == "ram":
+        if n > M:
+            raise ValueError(f"ram plan requires n <= M, got n={n} > M={M}")
+        blocks = float(math.ceil(n / B))
+        return PlanCandidate(algorithm, None, blocks, blocks, blocks * (1 + omega), "ram")
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; choose from {sorted(PLANNABLE_ALGORITHMS)}"
+    )
+
+
+def rank_plans(
+    n: int,
+    params: MachineParams,
+    algorithms: tuple[str, ...] | None = None,
+    k_max: int | None = None,
+) -> list[PlanCandidate]:
+    """All candidates for ``(n, params)``, best (lowest predicted cost) first.
+
+    ``algorithms`` restricts the field (default: every plannable algorithm;
+    ``"ram"`` is silently skipped when ``n > M``).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if algorithms is None:
+        algorithms = PLANNABLE_ALGORITHMS
+    out = []
+    for name in algorithms:
+        if name == "ram" and n > params.M:
+            continue
+        try:
+            out.append(predict_candidate(name, n, params, k_max=k_max))
+        except ValueError:
+            if name not in _K_PARAMETERISED:
+                raise
+            # degenerate-fanout machine (e.g. M = B): the recursive sorts
+            # cannot run; selection (and ram, when it fits) remain
+            continue
+    if not out:
+        raise ValueError("no applicable algorithms for this (n, params)")
+    out.sort(
+        key=lambda c: (
+            c.predicted_cost,
+            c.predicted_writes,
+            _TIE_PREFERENCE[c.algorithm],
+        )
+    )
+    return out
+
+
+def plan_sort(
+    n: int,
+    params: MachineParams,
+    algorithms: tuple[str, ...] | None = None,
+    k_max: int | None = None,
+) -> SortPlan:
+    """Build the ranked :class:`SortPlan` for one sorting problem."""
+    return SortPlan(n=n, params=params, ranked=tuple(rank_plans(n, params, algorithms, k_max)))

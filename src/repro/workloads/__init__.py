@@ -1,9 +1,11 @@
 """Seeded input generators for sorting experiments."""
 
 from .generators import (
+    SCENARIOS,
     adversarial_merge_killer,
     few_distinct,
     gaussian_keys,
+    make_scenario,
     nearly_sorted,
     random_permutation,
     reverse_sorted,
@@ -13,9 +15,11 @@ from .generators import (
 )
 
 __all__ = [
+    "SCENARIOS",
     "adversarial_merge_killer",
     "few_distinct",
     "gaussian_keys",
+    "make_scenario",
     "nearly_sorted",
     "random_permutation",
     "reverse_sorted",

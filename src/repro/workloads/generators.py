@@ -104,6 +104,27 @@ def zipf_keys(n: int, skew: float = 1.1, seed: int = 0) -> list[int]:
     return [pick() * n + p for p in range(n)]
 
 
+#: Named scenario registry: every entry is callable as ``f(n, seed=seed)``.
+#: Used by the ``python -m repro batch`` mixed-workload driver and the batch
+#: tests to exercise diverse input shapes through the adaptive planner.
+SCENARIOS = {
+    "uniform": random_permutation,
+    "presorted": sorted_run,
+    "reversed": reverse_sorted,
+    "nearly-sorted": nearly_sorted,
+    "duplicates": few_distinct,
+    "gaussian": gaussian_keys,
+    "zipf": zipf_keys,
+}
+
+
+def make_scenario(name: str, n: int, seed: int = 0) -> list[int]:
+    """Generate the named scenario's input (see :data:`SCENARIOS`)."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    return SCENARIOS[name](n, seed=seed)
+
+
 def adversarial_merge_killer(n: int, l: int, seed: int = 0) -> list[int]:
     """Input arranged so consecutive merge runs interleave maximally.
 

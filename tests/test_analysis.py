@@ -73,10 +73,21 @@ class TestKTuning:
         assert k_improves(1, self.PARAMS)
 
     def test_feasibility_threshold(self):
-        # omega=8, M/B=8: k/log k < 9/3 = 3 -> k=8 gives 8/3=2.67 < 3 ok,
-        # k=12 gives 12/3.58=3.35 > 3 no
-        assert k_improves(8, self.PARAMS)
+        # Corollary 4.4: k/log k < omega/log(M/B).  omega=8, M/B=8 gives
+        # threshold 8/3 = 2.667 -> k=6: 6/2.585 = 2.32 ok;
+        # k=8: 8/3 = 2.667 sits exactly on the (strict) boundary -> no;
+        # k=12: 12/3.58 = 3.35 -> no
+        assert k_improves(6, self.PARAMS)
+        assert not k_improves(8, self.PARAMS)
         assert not k_improves(12, self.PARAMS)
+
+    def test_choose_k_candidates_feasible(self):
+        # every k choose_k can return passes the Corollary 4.4 test
+        for omega in (2, 4, 8, 16, 32):
+            p = MachineParams(M=64, B=8, omega=omega)
+            for n in (500, 5_000, 50_000, 500_000):
+                k = choose_k(p, n)
+                assert k == 1 or k_improves(k, p), (omega, n, k)
 
     def test_feasible_region_contiguous_prefix(self):
         region = feasible_k_region(self.PARAMS)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MachineParams, sort_external, sort_ram
+from repro import CostCounter, MachineParams, SortReport, sort_external, sort_ram
 from repro.workloads import random_permutation
 
 PARAMS = MachineParams(M=64, B=8, omega=8)
@@ -35,6 +35,56 @@ class TestSortExternal:
     def test_unknown_algorithm(self):
         with pytest.raises(ValueError):
             sort_external([1], PARAMS, algorithm="bogosort")
+
+    @pytest.mark.parametrize("alg", ["mergesort", "samplesort", "heapsort", "selection"])
+    @pytest.mark.parametrize("n", [0, 1, 8, 9])  # 0, 1, B, B+1
+    def test_edge_sizes(self, alg, n):
+        data = list(range(n - 1, -1, -1))
+        rep = sort_external(data, PARAMS, algorithm=alg, k=2)
+        assert rep.output == sorted(data)
+        assert rep.n == n
+        if n == 0:
+            assert rep.reads == 0 and rep.writes == 0 and rep.cost() == 0
+        else:
+            assert rep.reads >= 1 and rep.writes >= 1
+
+
+class TestSortReportAccounting:
+    """Regression: granularity is decided by the model, never by falsy-or."""
+
+    def test_zero_block_transfers_not_masked_by_element_counts(self):
+        # an external sort that legitimately performed zero block reads must
+        # report 0, even if element-granularity tallies are non-zero
+        counter = CostCounter(element_reads=5, element_writes=7)
+        rep = SortReport(
+            algorithm="aem-x", n=0, params=PARAMS, output=[], counter=counter
+        )
+        assert rep.granularity == "block"
+        assert rep.reads == 0 and rep.writes == 0
+        assert rep.cost() == 0
+
+    def test_element_report_ignores_block_counts(self):
+        counter = CostCounter(element_reads=10, element_writes=3, block_reads=99)
+        rep = SortReport(
+            algorithm="ram-x",
+            n=5,
+            params=None,
+            output=[],
+            counter=counter,
+            granularity="element",
+        )
+        assert rep.reads == 10 and rep.writes == 3
+        assert rep.cost(omega=2) == 10 + 2 * 3
+
+    def test_empty_external_sort_reports_zero(self):
+        rep = sort_external([], PARAMS, algorithm="mergesort", k=1)
+        assert rep.reads == 0 and rep.writes == 0 and rep.cost() == 0
+
+    def test_cost_consistent_with_reads_writes(self):
+        rep = sort_external(random_permutation(100, seed=9), PARAMS, k=2)
+        assert rep.cost() == rep.reads + PARAMS.omega * rep.writes
+        assert rep.reads == rep.counter.block_reads
+        assert rep.writes == rep.counter.block_writes
 
 
 class TestSortRam:

@@ -51,3 +51,30 @@ class TestCommands:
         assert main(["tune", "--n", "50000", "--omega", "16", "--k-max", "6"]) == 0
         out = capsys.readouterr().out
         assert "predicted-best k" in out
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--n", "20000", "--omega", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted plan" in out
+        assert "chosen: samplesort" in out
+
+    def test_plan_small_n_routes_to_ram(self, capsys):
+        assert main(["plan", "--n", "40"]) == 0
+        assert "chosen: ram" in capsys.readouterr().out
+
+    def test_batch_command(self, capsys):
+        assert main(["batch", "--jobs", "8", "--n", "400", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 8 jobs" in out
+        assert "per-algorithm routing mix" in out
+        assert "0 failed" in out
+
+    def test_batch_pinned_algorithm(self, capsys):
+        assert main(
+            ["batch", "--jobs", "4", "--n", "200", "--algorithm", "mergesort"]
+        ) == 0
+        assert "aem-mergesort" in capsys.readouterr().out
+
+    def test_batch_unknown_scenario(self, capsys):
+        assert main(["batch", "--jobs", "2", "--mix", "chaos"]) == 2
+        assert "unknown scenarios" in capsys.readouterr().out

@@ -114,6 +114,55 @@ class TestReaderWriter:
             w.extend(range(5))
         assert arr.peek_list() == list(range(5))
 
+    def test_block_writer_no_flush_on_exception(self, machine):
+        # exception path: the partial buffer must NOT be flushed (the model
+        # charges a write only when a block transfer really happens), and the
+        # writer stays open so the error is not silently papered over
+        arr = machine.allocate()
+        with pytest.raises(RuntimeError, match="boom"):
+            with BlockWriter(machine, arr) as w:
+                w.extend(range(5))  # < B: still buffered
+                raise RuntimeError("boom")
+        assert machine.counter.block_writes == 0
+        assert arr.length == 0
+        assert not w.closed
+
+    def test_extend_cost_equivalent_to_append(self, machine):
+        # block-level extend must charge exactly the same writes and produce
+        # the same block layout as the record-at-a-time path
+        data = list(range(45))
+        w1 = machine.writer()
+        w1.extend(data)
+        a1 = w1.close()
+        fresh = AEMachine(machine.params)
+        w2 = fresh.writer()
+        for rec in data:
+            w2.append(rec)
+        a2 = w2.close()
+        assert machine.counter.block_writes == fresh.counter.block_writes
+        assert a1._blocks == a2._blocks
+        assert w1.written == w2.written == 45
+
+    def test_extend_tops_up_partial_buffer(self, machine):
+        w = machine.writer()
+        w.append(0)
+        w.extend(range(1, 20))  # crosses several block boundaries mid-buffer
+        arr = w.close()
+        assert arr.peek_list() == list(range(20))
+        assert machine.counter.block_writes == 3
+
+    def test_extend_after_close_rejected(self, machine):
+        w = machine.writer()
+        w.close()
+        with pytest.raises(RuntimeError):
+            w.extend([1, 2])
+
+    def test_read_block_copy_false_is_read_only_view(self, machine):
+        arr = machine.from_list(range(8))
+        blk = machine.read_block(arr, 0, copy=False)
+        assert blk == list(range(8))
+        assert machine.counter.block_reads == 1
+
     @given(st.lists(st.integers(), max_size=100))
     @settings(max_examples=30, deadline=None)
     def test_writer_roundtrip_property(self, data):
@@ -165,6 +214,18 @@ class TestStructuralOps:
         assert out.num_blocks == 2  # fragmentation is visible
         assert list(machine.scan(out)) == list(range(10))
 
+    def test_logical_blocks_vs_physical_after_concat(self, machine):
+        # B=8: three 5-record arrays -> 3 physical blocks, 2 logical
+        parts = [machine.from_list(range(5 * i, 5 * i + 5)) for i in range(3)]
+        out = machine.concat(parts)
+        assert out.num_blocks == 3
+        assert out.logical_blocks == 2  # ceil(15/8)
+
+    def test_logical_blocks_fresh_array_matches_num_blocks(self, machine):
+        for n in (0, 1, 8, 9, 20):
+            arr = machine.from_list(range(n))
+            assert arr.num_blocks == arr.logical_blocks
+
 
 class TestMemoryGuard:
     def test_high_water_tracking(self):
@@ -192,6 +253,17 @@ class TestMemoryGuard:
         g.acquire(1)
         with pytest.raises(ValueError):
             g.release(2)
+
+    def test_failed_release_does_not_corrupt_state(self):
+        # regression: validation happens before mutation, so a rejected
+        # release leaves in_use exactly where it was
+        g = MemoryGuard()
+        g.acquire(5)
+        with pytest.raises(ValueError):
+            g.release(6)
+        assert g.in_use == 5
+        g.release(5)  # the legitimate release still balances
+        assert g.in_use == 0
 
     def test_reset(self):
         g = MemoryGuard()

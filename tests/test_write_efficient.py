@@ -32,6 +32,34 @@ class TestDict:
         with pytest.raises(KeyError):
             d.delete(1000)
 
+    def test_reinsert_after_delete_resurrects(self):
+        # regression: delete -> insert of the same key must resurrect the
+        # tombstone (one value write), not raise "duplicate key"
+        d = WriteEfficientDict()
+        d.insert(0, 0)
+        d.delete(0)
+        d.insert(0, 99)
+        assert d.search(0) == 99
+        assert len(d) == 1
+        d.delete(0)  # the resurrected key is deletable again
+        assert d.search(0) is None
+
+    def test_resurrect_descent_charges_reads(self):
+        d = WriteEfficientDict()
+        for k in range(8):
+            d.insert(k, k)
+        d.delete(3)
+        before = d.counter.element_reads
+        d.insert(3, 30)
+        # the failed tree.insert descent AND the resurrect walk both charge
+        assert d.counter.element_reads > before
+
+    def test_reinsert_live_key_still_rejected(self):
+        d = WriteEfficientDict()
+        d.insert(1, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            d.insert(1, 2)
+
     def test_compaction_triggers(self):
         d = WriteEfficientDict()
         for k in range(100):
