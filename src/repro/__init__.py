@@ -40,7 +40,17 @@ from .models import (
     MemoryGuard,
     SimArray,
 )
-from .planner import BatchReport, SortJob, SortPlan, plan_sort, rank_plans, run_batch
+from .planner import (
+    BatchReport,
+    CostConstants,
+    PlanCache,
+    SortJob,
+    SortPlan,
+    calibrate,
+    plan_sort,
+    rank_plans,
+    run_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -50,11 +60,13 @@ __all__ = [
     "BatchReport",
     "BufferTree",
     "CacheSim",
+    "CostConstants",
     "CostCounter",
     "DepthTracker",
     "InstrumentedArray",
     "MachineParams",
     "MemoryGuard",
+    "PlanCache",
     "SimArray",
     "SortJob",
     "SortPlan",
@@ -63,6 +75,7 @@ __all__ = [
     "aem_mergesort",
     "aem_samplesort",
     "bst_sort",
+    "calibrate",
     "plan_sort",
     "rank_plans",
     "run_batch",

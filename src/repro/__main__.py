@@ -8,13 +8,21 @@ Subcommands
     Sort a random permutation and print the cost report.
 ``tune --n N [--M M] [--B B] [--omega W]``
     Print the Appendix-A k sweep for a machine.
-``plan --n N [--M M] [--B B] [--omega W]``
+``plan --n N [--M M] [--B B] [--omega W] [--constants FILE]``
     Rank every algorithm by exact predicted asymmetric I/O cost (the
-    cost-model planner behind ``sort_auto``) without executing anything.
-``batch --jobs J --n N [--mix S1,S2,...] [--workers W] [--check]``
+    cost-model planner behind ``sort_auto``) without executing anything;
+    ``--constants`` loads a calibrated-constants JSON from ``calibrate``.
+``batch --jobs J --n N [--mix S1,S2,...] [--executor thread|process]
+[--workers W] [--constants FILE] [--check]``
     Run many adaptive sort jobs concurrently over a mixed workload
     (scenarios from ``repro.workloads.SCENARIOS``) and print the aggregated
-    throughput report plus the per-algorithm routing mix.
+    throughput report plus the per-family routing mix.  ``--executor
+    process`` shards jobs across worker processes for real multi-core
+    scaling.
+``calibrate [--sizes N1,N2,...] [--scenario S] [--plan-n N] [--save FILE]``
+    Fit per-algorithm leading constants from measured runs, print them, and
+    compare the calibrated predicted ranking against the measured-cost
+    ranking at a probe size.
 """
 
 from __future__ import annotations
@@ -29,7 +37,15 @@ from .analysis.tables import format_table
 from .api import sort_external
 from .experiments import ALL_EXPERIMENTS
 from .models.params import MachineParams
-from .planner import SortJob, rank_plans, run_batch
+from .planner import (
+    CostConstants,
+    SortJob,
+    compare_rankings,
+    fit_constants,
+    measure_samples,
+    rank_plans,
+    run_batch,
+)
 from .workloads import SCENARIOS, make_scenario, random_permutation
 
 
@@ -80,9 +96,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_constants(path: str | None) -> CostConstants | None:
+    return CostConstants.load(path) if path else None
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     params = MachineParams(M=args.M, B=args.B, omega=args.omega)
-    ranked = rank_plans(args.n, params, k_max=args.k_max)
+    ranked = rank_plans(args.n, params, k_max=args.k_max,
+                        constants=_load_constants(args.constants))
     rows = [
         {
             "rank": i,
@@ -124,14 +145,77 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     t0 = time.time()
-    report = run_batch(jobs, max_workers=args.workers, check_sorted=args.check)
-    print(format_table([report.summary()], title=f"batch of {args.jobs} jobs on {params}"))
+    report = run_batch(
+        jobs,
+        max_workers=args.workers,
+        check_sorted=args.check,
+        executor=args.executor,
+        constants=_load_constants(args.constants),
+    )
+    print(
+        format_table(
+            [report.summary()],
+            title=f"batch of {args.jobs} jobs on {params} [{args.executor}]",
+        )
+    )
     print()
     print(format_table(report.mix_rows(), title="per-algorithm routing mix"))
     for f in report.failures:
         print(f"FAILED job {f.index} ({f.label}): {f.error!r}")
     print(f"\n[{args.jobs} jobs, {len(report.failures)} failed, {time.time() - t0:.1f}s]")
     return 1 if report.failures else 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    if not sizes:
+        print(f"no calibration sizes in {args.sizes!r}")
+        return 2
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from {sorted(SCENARIOS)}")
+        return 2
+    samples = measure_samples(params, sizes=sizes, scenario=args.scenario, seed=args.seed)
+    constants = fit_constants(samples)
+    rows = [
+        {"family": fam, "read const": round(cr, 4), "write const": round(cw, 4)}
+        for fam, cr, cw in constants.entries
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"calibrated constants on {params} "
+            f"(sizes={list(sizes)}, scenario={args.scenario})",
+        )
+    )
+    # measured-vs-predicted ranking check at the probe size
+    probe = args.plan_n if args.plan_n is not None else max(sizes)
+    families = tuple(dict.fromkeys(s.family for s in samples))
+    comparison = compare_rankings(
+        params,
+        constants,
+        probe,
+        algorithms=families,
+        scenario=args.scenario,
+        seed=args.seed + len(sizes),
+    )
+    rows = [
+        {
+            "rank": i,
+            "predicted": cand.algorithm,
+            "pred cost": round(cand.predicted_cost, 1),
+            "measured": comparison.measured_order[i],
+            "meas cost": comparison.measured_costs[comparison.measured_order[i]],
+        }
+        for i, cand in enumerate(comparison.ranked)
+    ]
+    print()
+    print(format_table(rows, title=f"calibrated vs measured ranking at n={probe}"))
+    print(f"\nranking agreement: {'yes' if comparison.agree else 'NO'}")
+    if args.save:
+        constants.save(args.save)
+        print(f"constants written to {args.save}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--B", type=int, default=8)
     p_plan.add_argument("--omega", type=int, default=8)
     p_plan.add_argument("--k-max", type=int, default=None)
+    p_plan.add_argument("--constants", default=None, metavar="FILE",
+                        help="calibrated-constants JSON (from `calibrate --save`)")
     p_plan.set_defaults(fn=_cmd_plan)
 
     p_batch = sub.add_parser("batch", help="run many adaptive sorts concurrently")
@@ -187,11 +273,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--M", type=int, default=64)
     p_batch.add_argument("--B", type=int, default=8)
     p_batch.add_argument("--omega", type=int, default=8)
-    p_batch.add_argument("--workers", type=int, default=None)
+    p_batch.add_argument("--executor", default="thread", choices=["thread", "process"],
+                         help="thread: shared pool (GIL-bound); process: sharded "
+                              "across worker processes for multi-core scaling")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="pool width (thread) / shard count (process)")
+    p_batch.add_argument("--constants", default=None, metavar="FILE",
+                         help="calibrated-constants JSON (from `calibrate --save`)")
     p_batch.add_argument("--seed", type=int, default=0)
     p_batch.add_argument("--check", action="store_true",
                          help="verify every output is sorted")
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit per-algorithm leading constants from measured runs",
+    )
+    p_cal.add_argument("--sizes", default="512,2048,8192",
+                       help="comma-separated calibration workload sizes")
+    p_cal.add_argument("--scenario", default="uniform",
+                       help=f"workload scenario from {sorted(SCENARIOS)}")
+    p_cal.add_argument("--plan-n", type=int, default=None,
+                       help="probe size for the ranking check (default: max size)")
+    p_cal.add_argument("--M", type=int, default=64)
+    p_cal.add_argument("--B", type=int, default=8)
+    p_cal.add_argument("--omega", type=int, default=8)
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.add_argument("--save", default=None, metavar="FILE",
+                       help="write the fitted constants as JSON")
+    p_cal.set_defaults(fn=_cmd_calibrate)
     return parser
 
 

@@ -34,12 +34,22 @@ class SortReport:
     #: primary-memory high-water mark in records (external sorts only)
     memory_high_water: int = 0
     extras: dict = field(default_factory=dict)
+    #: canonical algorithm family — one of the planner's buckets
+    #: (``"mergesort"``, ``"samplesort"``, ``"heapsort"``, ``"selection"``,
+    #: ``"ram"``) regardless of the k-annotated display label, so batch
+    #: aggregation groups by *algorithm*, not by ``(algorithm, k)``.  Falls
+    #: back to the display label when not set explicitly.
+    family: str = ""
     #: which counter granularity this report's model charges: ``"block"``
     #: (AEM/external sorts) or ``"element"`` (RAM sorts).  Explicit so that a
     #: legitimate zero (e.g. an external sort of an empty input performs zero
     #: block reads) is reported as 0 rather than silently falling back to the
     #: other granularity's tally.
     granularity: str = "block"
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            self.family = self.algorithm
 
     @property
     def reads(self) -> int:
@@ -93,9 +103,10 @@ def sort_external(
         ``"mergesort"`` (Algorithm 2), ``"samplesort"`` (§4.2), ``"heapsort"``
         (§4.3 buffer-tree priority queue), or ``"selection"`` (Lemma 4.2).
     k:
-        Extra branching factor.  Defaults to the Appendix-A heuristic choice
-        :func:`repro.analysis.ktuning.choose_k` (``k = 1`` is the classic
-        algorithm).
+        Extra branching factor (ignored by ``"selection"``, which has none).
+        Defaults to the Appendix-A recipe
+        :func:`repro.analysis.ktuning.choose_k` evaluated at ``n = len(data)``
+        (``k = 1`` is the classic algorithm).
 
     Returns a :class:`SortReport` with block-level counts.
     """
@@ -103,25 +114,30 @@ def sort_external(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_EXTERNAL_SORTS)}"
         )
-    if k is None:
-        from .analysis.ktuning import choose_k
-
-        k = choose_k(params)
     machine = AEMachine(params)
     arr = machine.from_list(data, name="input")
     guard = MemoryGuard()
     if algorithm == "selection":
+        # selection (Lemma 4.2) has no branching factor: no k in the label,
+        # no k in extras — one batch-aggregation bucket, not one per k
         out = selection_sort(machine, arr, guard=guard)
+        label, extras = "aem-selection", {}
     else:
+        if k is None:
+            from .analysis.ktuning import choose_k
+
+            k = choose_k(params, n=len(data))
         out = _EXTERNAL_SORTS[algorithm](machine, arr, k, guard=guard)
+        label, extras = f"aem-{algorithm}(k={k})", {"k": k}
     return SortReport(
-        algorithm=f"aem-{algorithm}(k={k})",
+        algorithm=label,
         n=len(data),
         params=params,
         output=out.peek_list(),
         counter=machine.counter,
         memory_high_water=guard.high_water,
-        extras={"k": k},
+        extras=extras,
+        family=algorithm,
         granularity="block",
     )
 
@@ -144,6 +160,7 @@ def sort_ram(data: Sequence, algorithm: str = "bst-rb") -> SortReport:
         params=None,
         output=out,
         counter=counter,
+        family="ram",
         granularity="element",
     )
 
@@ -152,6 +169,8 @@ def sort_auto(
     data: Sequence,
     params: MachineParams,
     algorithms: tuple[str, ...] | None = None,
+    constants=None,
+    cache=None,
 ) -> SortReport:
     """Sort ``data`` with the cost-model-chosen best algorithm.
 
@@ -163,11 +182,18 @@ def sort_auto(
 
     The returned report carries the full plan in ``extras["plan"]`` (chosen
     candidate plus the ranked alternatives) so callers can audit the routing
-    decision.  ``algorithms`` optionally restricts the candidate field.
+    decision.  ``algorithms`` optionally restricts the candidate field;
+    ``constants`` (a :class:`~repro.planner.calibration.CostConstants`)
+    replaces the unit leading constants with calibrated ones; ``cache`` (a
+    :class:`~repro.planner.plan_cache.PlanCache`) memoises the ranking across
+    calls.
     """
     from .planner.cost_model import plan_sort
 
-    plan = plan_sort(len(data), params, algorithms=algorithms)
+    if cache is not None:
+        plan = cache.plan(len(data), params, algorithms=algorithms, constants=constants)
+    else:
+        plan = plan_sort(len(data), params, algorithms=algorithms, constants=constants)
     chosen = plan.chosen
     if chosen.model == "ram":
         report = ram_report_on_machine(data, params)

@@ -9,15 +9,33 @@ factors.  This subsystem turns those closed forms into an executable planner:
 
 * :mod:`~repro.planner.cost_model` — rank every algorithm (with its own best
   ``k``) by exact predicted asymmetric I/O cost and emit a :class:`SortPlan`;
+* :mod:`~repro.planner.calibration` — fit per-algorithm leading constants
+  from measured runs (:class:`CostConstants`) so the ranking reflects this
+  implementation rather than unit-constant theory;
+* :mod:`~repro.planner.plan_cache` — memoise rankings (pure functions of
+  ``(n, machine, constants)``) with hit/miss accounting;
 * :mod:`~repro.planner.batch` — execute many planned sort jobs concurrently
-  (``concurrent.futures``) and aggregate their reports into a throughput
-  summary.
+  and aggregate their reports into a throughput summary;
+* :mod:`~repro.planner.sharding` — the ``executor="process"`` backend:
+  partition jobs into per-process shards and merge the per-shard reports for
+  real multi-core wall-clock scaling.
 
 The :func:`repro.api.sort_auto` façade and the ``python -m repro plan`` /
-``batch`` CLI subcommands are thin wrappers over these two modules.
+``batch`` / ``calibrate`` CLI subcommands are thin wrappers over these
+modules.
 """
 
-from .batch import BatchReport, SortJob, run_batch
+from .batch import BatchReport, JobFailure, SortJob, run_batch
+from .calibration import (
+    CALIBRATABLE_ALGORITHMS,
+    CalibrationSample,
+    CostConstants,
+    RankingComparison,
+    calibrate,
+    compare_rankings,
+    fit_constants,
+    measure_samples,
+)
 from .cost_model import (
     PLANNABLE_ALGORITHMS,
     PlanCandidate,
@@ -26,15 +44,31 @@ from .cost_model import (
     predict_candidate,
     rank_plans,
 )
+from .plan_cache import PlanCache
+from .sharding import ShardResult, merge_shard_reports, partition_jobs, run_sharded
 
 __all__ = [
     "BatchReport",
+    "CALIBRATABLE_ALGORITHMS",
+    "CalibrationSample",
+    "CostConstants",
+    "JobFailure",
     "PLANNABLE_ALGORITHMS",
+    "PlanCache",
     "PlanCandidate",
+    "RankingComparison",
+    "ShardResult",
     "SortJob",
     "SortPlan",
+    "calibrate",
+    "compare_rankings",
+    "fit_constants",
+    "measure_samples",
+    "merge_shard_reports",
+    "partition_jobs",
     "plan_sort",
     "predict_candidate",
     "rank_plans",
     "run_batch",
+    "run_sharded",
 ]

@@ -3,17 +3,34 @@
 Production traffic is many sort requests, not one; this module runs a list of
 :class:`SortJob`\\ s concurrently and aggregates the per-job
 :class:`~repro.api.SortReport`\\ s into a :class:`BatchReport` throughput
-summary (jobs/s, records/s, total asymmetric I/O cost, per-algorithm mix).
+summary (jobs/s, records/s, total asymmetric I/O cost, per-family mix).
 
 Jobs default to adaptive planning (:func:`repro.api.sort_auto`); a job may
 pin ``algorithm`` (and ``k``) to force a specific strategy.  One failing job
 does not abort the batch — failures are captured per job and reported.
 
-The executor uses threads: the simulated machines are independent (one
-:class:`~repro.models.external_memory.AEMachine` per job, no shared counters)
-so jobs are trivially parallelisable; under CPython the GIL serialises the
-pure-Python simulation work, which is fine for the *model* costs this repo
-measures.  Process-pool sharding for wall-clock speedups is a ROADMAP item.
+Two executors are available:
+
+* ``executor="thread"`` — a shared :class:`ThreadPoolExecutor`.  The simulated
+  machines are independent (one
+  :class:`~repro.models.external_memory.AEMachine` per job, no shared
+  counters) so jobs are trivially parallelisable, but under CPython the GIL
+  serialises the pure-Python simulation work: fine for *model* costs, no
+  wall-clock scaling.
+* ``executor="process"`` — jobs are partitioned into shards, each shard runs
+  in its own worker process (one machine per job, one
+  :class:`~repro.planner.plan_cache.PlanCache` per shard) and the per-shard
+  :class:`BatchReport`\\ s are merged back in submission order
+  (:mod:`~repro.planner.sharding`).  This is the CPU-bound scale-out path:
+  wall-clock throughput grows with cores.
+
+Model-level aggregates (reads / writes / cost) are executor-independent:
+both paths run the identical per-job simulation, only the scheduling
+differs.
+
+Adaptive planning is memoised through a :class:`PlanCache` (plans are pure
+functions of ``(n, machine, constants)``); the batch summary surfaces the
+hit/miss counts so cache effectiveness is visible per run.
 """
 
 from __future__ import annotations
@@ -25,11 +42,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..models.params import MachineParams
+from .plan_cache import PlanCache
 
 
 @dataclass
 class SortJob:
-    """One sort request: data + machine, optionally pinned to an algorithm."""
+    """One sort request: data + machine, optionally pinned to an algorithm.
+
+    Plain data all the way down (a list, a frozen
+    :class:`~repro.models.params.MachineParams`, strings) so jobs pickle
+    cleanly across the process-pool boundary.
+    """
 
     data: Sequence
     params: MachineParams
@@ -57,6 +80,12 @@ class BatchReport:
     reports: list = field(default_factory=list)
     failures: list[JobFailure] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: which backend ran the batch (``"thread"`` or ``"process"``)
+    executor: str = "thread"
+    #: plan-cache effectiveness over the batch (summed across shards in
+    #: process mode); pinned jobs never consult the cache
+    plan_hits: int = 0
+    plan_misses: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -88,8 +117,10 @@ class BatchReport:
         return self.total_records / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def algorithm_mix(self) -> dict[str, int]:
-        """How many jobs each algorithm won (by executed-report label)."""
-        return dict(Counter(r.algorithm for r in self.reports))
+        """How many jobs each algorithm *family* won (``"mergesort"``,
+        ``"selection"``, ``"ram"``, …) — one bucket per algorithm, not one
+        per ``(algorithm, k)`` label."""
+        return dict(Counter(r.family for r in self.reports))
 
     def summary(self) -> dict:
         """One flat dict — the headline row of the batch."""
@@ -103,16 +134,19 @@ class BatchReport:
             "wall_s": round(self.wall_seconds, 4),
             "jobs/s": round(self.jobs_per_second, 2),
             "records/s": round(self.records_per_second, 1),
+            "executor": self.executor,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
         }
 
     def mix_rows(self) -> list[dict]:
-        """Per-algorithm breakdown rows (for ``format_table``)."""
+        """Per-family breakdown rows (for ``format_table``)."""
         rows = []
         for name, count in sorted(self.algorithm_mix().items()):
-            group = [r for r in self.reports if r.algorithm == name]
+            group = [r for r in self.reports if r.family == name]
             rows.append(
                 {
-                    "algorithm": name,
+                    "family": name,
                     "jobs": count,
                     "records": sum(r.n for r in group),
                     "reads": sum(r.reads for r in group),
@@ -123,48 +157,97 @@ class BatchReport:
         return rows
 
 
-def _execute_job(job: SortJob):
+def _execute_job(job: SortJob, cache: PlanCache | None = None, constants=None):
     # local import: api imports this package (sort_auto → planner)
     from ..api import ram_report_on_machine, sort_auto, sort_external
 
     if job.algorithm is None:
-        return sort_auto(job.data, job.params)
+        return sort_auto(job.data, job.params, constants=constants, cache=cache)
     if job.algorithm == "ram":
         # block-granularity report so batch aggregates stay in one currency
         return ram_report_on_machine(job.data, job.params)
     return sort_external(job.data, job.params, algorithm=job.algorithm, k=job.k)
 
 
+def execute_and_check(
+    index: int,
+    job: SortJob,
+    cache: PlanCache | None = None,
+    constants=None,
+    check_sorted: bool = False,
+):
+    """The per-job semantics shared by BOTH executors: run the job, enforce
+    ``check_sorted``, raise on any problem (the caller records the
+    :class:`JobFailure`).  Thread and process backends must not diverge here."""
+    rep = _execute_job(job, cache=cache, constants=constants)
+    if check_sorted and not rep.is_sorted():
+        raise AssertionError(f"job {index} ({job.label!r}) output not sorted")
+    return rep
+
+
 def run_batch(
     jobs: Sequence[SortJob],
     max_workers: int | None = None,
     check_sorted: bool = False,
+    executor: str = "thread",
+    plan_cache: PlanCache | None = None,
+    constants=None,
 ) -> BatchReport:
     """Execute ``jobs`` concurrently and aggregate their reports.
 
     Parameters
     ----------
     max_workers:
-        Thread-pool width; defaults to ``min(8, len(jobs))``.
+        Pool width.  Thread mode defaults to ``min(8, len(jobs))``; process
+        mode defaults to one shard per CPU core (capped at the job count).
     check_sorted:
         Verify every output is sorted (costs an extra O(n) pass per job);
         a violation is recorded as that job's failure.
+    executor:
+        ``"thread"`` (GIL-bound, zero start-up cost) or ``"process"``
+        (sharded across worker processes for real multi-core scaling).
+    plan_cache:
+        Memoisation table for adaptive planning.  Thread mode shares it
+        across workers (one is created internally when ``None``); process
+        mode builds one cache per shard instead — a cross-process shared
+        cache would serialise the very work the shards parallelise — and a
+        caller-supplied cache is ignored there.
+    constants:
+        Optional :class:`~repro.planner.calibration.CostConstants` so
+        adaptive jobs rank with calibrated rather than unit leading
+        constants.
     """
-    report = BatchReport()
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}; choose 'thread' or 'process'")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1 or None, got {max_workers}")
     if not jobs:
-        return report
-    if max_workers is None:
-        max_workers = min(8, len(jobs))
+        return BatchReport(executor=executor)
     t0 = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = [pool.submit(_execute_job, job) for job in jobs]
-        for i, (job, fut) in enumerate(zip(jobs, futures)):
-            try:
-                rep = fut.result()
-                if check_sorted and not rep.is_sorted():
-                    raise AssertionError(f"job {i} ({job.label!r}) output not sorted")
-                report.reports.append(rep)
-            except Exception as exc:  # noqa: BLE001 — captured per job by design
-                report.failures.append(JobFailure(index=i, label=job.label, error=exc))
+    if executor == "process":
+        from .sharding import run_sharded
+
+        report = run_sharded(
+            jobs, num_shards=max_workers, check_sorted=check_sorted, constants=constants
+        )
+    else:
+        report = BatchReport(executor="thread")
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        # delta stats: a caller-supplied cache may be warm from earlier batches
+        hits0, misses0 = cache.hits, cache.misses
+        if max_workers is None:
+            max_workers = min(8, len(jobs))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(execute_and_check, i, job, cache, constants, check_sorted)
+                for i, job in enumerate(jobs)
+            ]
+            for i, (job, fut) in enumerate(zip(jobs, futures)):
+                try:
+                    report.reports.append(fut.result())
+                except Exception as exc:  # noqa: BLE001 — captured per job by design
+                    report.failures.append(JobFailure(index=i, label=job.label, error=exc))
+        report.plan_hits = cache.hits - hits0
+        report.plan_misses = cache.misses - misses0
     report.wall_seconds = time.perf_counter() - t0
     return report

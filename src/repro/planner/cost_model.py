@@ -21,10 +21,13 @@ Each ``k``-parameterised algorithm is entered with its own best branching
 factor: the planner scans the Corollary 4.4 feasible region (``k = 1``, the
 classic algorithm, is always admissible) and keeps the cost minimiser.
 
-Because every form carries a unit leading constant, sample sort's
-``k ceil(n/B) L`` read bound dominates mergesort's ``(k+1) ceil(n/B) L`` by
-exactly one scan per level; mergesort therefore never wins the predicted
-ranking but remains listed for reporting and forced execution.
+With unit leading constants, sample sort's ``k ceil(n/B) L`` read bound
+dominates mergesort's ``(k+1) ceil(n/B) L`` by exactly one scan per level;
+mergesort therefore never wins a *unit-constant* ranking.  Every ranking
+entry point accepts an optional ``constants=``
+(:class:`~repro.planner.calibration.CostConstants`) fitted from measured
+runs, which replaces the unit constants with this implementation's actual
+per-algorithm multipliers and lets any algorithm win on merit.
 
 Ties are broken deterministically: lower predicted cost first, then fewer
 predicted writes (writes are the expensive currency), then a fixed
@@ -35,6 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..analysis.formulas import (
     mergesort_reads,
@@ -47,6 +51,9 @@ from ..core.aem_heapsort import predicted_amortized_reads, predicted_amortized_w
 from ..core.selection_sort import predicted_reads as selection_reads
 from ..core.selection_sort import predicted_writes as selection_writes
 from ..models.params import MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (calibration imports us)
+    from .calibration import CostConstants
 
 #: algorithms the planner knows how to rank (and execute via the api façade)
 PLANNABLE_ALGORITHMS = ("ram", "selection", "samplesort", "mergesort", "heapsort")
@@ -122,7 +129,20 @@ _K_PARAMETERISED = {
 }
 
 
-def _best_k(n: int, params: MachineParams, algorithm: str, k_max: int | None) -> int | None:
+def _constant_pair(constants: "CostConstants | None", family: str) -> tuple[float, float]:
+    """The (read, write) multipliers for ``family`` (unit when uncalibrated)."""
+    if constants is None:
+        return 1.0, 1.0
+    return constants.read_constant(family), constants.write_constant(family)
+
+
+def _best_k(
+    n: int,
+    params: MachineParams,
+    algorithm: str,
+    k_max: int | None,
+    constants: "CostConstants | None" = None,
+) -> int | None:
     """Minimise the algorithm's exact predicted cost over the Corollary 4.4
     feasible region (``k = 1`` always admissible); ties go to the smaller k.
 
@@ -131,12 +151,16 @@ def _best_k(n: int, params: MachineParams, algorithm: str, k_max: int | None) ->
     algorithm — and its closed forms — are undefined.
     """
     reads_fn, writes_fn = _K_PARAMETERISED[algorithm]
+    cr, cw = _constant_pair(constants, algorithm)
+    # same scan floor as predict_candidate, so the k minimising this loop's
+    # cost is the minimiser of the cost the candidate will actually report
+    floor = float(math.ceil(n / params.B))
     best_k, best_cost = None, None
     for k in feasible_k_region(params, k_max):
         if params.fanout(k) < 2:
             continue
-        r = reads_fn(n, params.M, params.B, k)
-        w = writes_fn(n, params.M, params.B, k)
+        r = max(cr * reads_fn(n, params.M, params.B, k), floor)
+        w = max(cw * writes_fn(n, params.M, params.B, k), floor)
         cost = r + params.omega * w
         if best_cost is None or cost < best_cost:
             best_k, best_cost = k, cost
@@ -149,39 +173,47 @@ def predict_candidate(
     params: MachineParams,
     k: int | None = None,
     k_max: int | None = None,
+    constants: "CostConstants | None" = None,
 ) -> PlanCandidate:
     """Predicted-cost entry for one algorithm (optimising ``k`` if not given).
 
     ``algorithm`` is one of :data:`PLANNABLE_ALGORITHMS`; requesting ``"ram"``
     with ``n > M`` raises ``ValueError`` (the input would not fit).
+    ``constants`` scales each bound by its calibrated leading multiplier
+    (:class:`~repro.planner.calibration.CostConstants`); ``None`` keeps the
+    unit-constant theory forms.
     """
     M, B, omega = params.M, params.B, params.omega
     # scan lower bound: sorting n >= 1 external records touches every input
     # block and writes every output block at least once.  Amortized forms
     # (heapsort's Theorem 4.10) dip below this for tiny n; the floor keeps
-    # the ranking honest there.
+    # the ranking honest there.  The floor is a physical bound, so calibrated
+    # constants never scale it.
     floor = float(math.ceil(n / B))
+    cr, cw = _constant_pair(constants, algorithm)
     if algorithm in _K_PARAMETERISED:
         if k is None:
-            k = _best_k(n, params, algorithm, k_max)
+            k = _best_k(n, params, algorithm, k_max, constants)
             if k is None:
                 raise ValueError(
                     f"{algorithm} infeasible on {params}: merge fanout kM/B < 2 "
                     "for every Corollary 4.4-feasible k"
                 )
         reads_fn, writes_fn = _K_PARAMETERISED[algorithm]
-        r = max(float(reads_fn(n, M, B, k)), floor)
-        w = max(float(writes_fn(n, M, B, k)), floor)
+        r = max(cr * float(reads_fn(n, M, B, k)), floor)
+        w = max(cw * float(writes_fn(n, M, B, k)), floor)
         return PlanCandidate(algorithm, k, r, w, r + omega * w, "aem")
     if algorithm == "selection":
-        r = max(float(selection_reads(n, M, B)), floor)
-        w = max(float(selection_writes(n, B)), floor)
+        r = max(cr * float(selection_reads(n, M, B)), floor)
+        w = max(cw * float(selection_writes(n, B)), floor)
         return PlanCandidate(algorithm, None, r, w, r + omega * w, "aem")
     if algorithm == "ram":
         if n > M:
             raise ValueError(f"ram plan requires n <= M, got n={n} > M={M}")
         blocks = float(math.ceil(n / B))
-        return PlanCandidate(algorithm, None, blocks, blocks, blocks * (1 + omega), "ram")
+        r = max(cr * blocks, blocks)
+        w = max(cw * blocks, blocks)
+        return PlanCandidate(algorithm, None, r, w, r + omega * w, "ram")
     raise ValueError(
         f"unknown algorithm {algorithm!r}; choose from {sorted(PLANNABLE_ALGORITHMS)}"
     )
@@ -192,24 +224,31 @@ def rank_plans(
     params: MachineParams,
     algorithms: tuple[str, ...] | None = None,
     k_max: int | None = None,
+    constants: "CostConstants | None" = None,
 ) -> list[PlanCandidate]:
     """All candidates for ``(n, params)``, best (lowest predicted cost) first.
 
-    ``algorithms`` restricts the field (default: every plannable algorithm;
-    ``"ram"`` is silently skipped when ``n > M``).
+    ``algorithms`` restricts the field.  With the default (``None``, meaning
+    every plannable algorithm) an inapplicable candidate is silently skipped —
+    ``"ram"`` when ``n > M``, and the recursive sorts on a degenerate-fanout
+    machine — because the auto-planner simply has no such option there.  An
+    *explicitly* requested algorithm that cannot run raises the ``ValueError``
+    from :func:`predict_candidate` instead of being dropped behind the
+    caller's back.
     """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
+    explicit = algorithms is not None
     if algorithms is None:
         algorithms = PLANNABLE_ALGORITHMS
     out = []
     for name in algorithms:
-        if name == "ram" and n > params.M:
+        if name == "ram" and n > params.M and not explicit:
             continue
         try:
-            out.append(predict_candidate(name, n, params, k_max=k_max))
+            out.append(predict_candidate(name, n, params, k_max=k_max, constants=constants))
         except ValueError:
-            if name not in _K_PARAMETERISED:
+            if explicit or name not in _K_PARAMETERISED:
                 raise
             # degenerate-fanout machine (e.g. M = B): the recursive sorts
             # cannot run; selection (and ram, when it fits) remain
@@ -231,6 +270,11 @@ def plan_sort(
     params: MachineParams,
     algorithms: tuple[str, ...] | None = None,
     k_max: int | None = None,
+    constants: "CostConstants | None" = None,
 ) -> SortPlan:
     """Build the ranked :class:`SortPlan` for one sorting problem."""
-    return SortPlan(n=n, params=params, ranked=tuple(rank_plans(n, params, algorithms, k_max)))
+    return SortPlan(
+        n=n,
+        params=params,
+        ranked=tuple(rank_plans(n, params, algorithms, k_max, constants=constants)),
+    )

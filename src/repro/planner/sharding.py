@@ -1,0 +1,162 @@
+"""Process-pool sharded batch execution.
+
+The pure-Python AEM simulation is CPU-bound, so the thread executor in
+:mod:`~repro.planner.batch` cannot scale wall-clock throughput past one core
+under CPython's GIL.  This module supplies the scale-out path behind
+``run_batch(..., executor="process")``:
+
+1. :func:`partition_jobs` deals the job list round-robin into ``num_shards``
+   shards (round-robin balances mixed job sizes better than contiguous
+   chunks), remembering each job's original submission index;
+2. :func:`execute_shard` runs one shard inside a worker process — a fresh
+   simulated machine per job, a shard-local
+   :class:`~repro.planner.plan_cache.PlanCache` for adaptive planning, and
+   per-job failure capture identical to the thread executor's;
+3. :func:`merge_shard_reports` folds the per-shard
+   :class:`~repro.planner.batch.BatchReport`\\ s back into one report with
+   successes and failures in original submission order and cache stats
+   summed.
+
+Everything crossing the process boundary (jobs in; shard reports out) must
+pickle.  :class:`~repro.planner.batch.SortJob` is plain data by design;
+captured exceptions are re-pickled defensively (an exception type with a
+non-trivial constructor is replaced by a ``RuntimeError`` carrying its repr,
+rather than poisoning the whole shard's result).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .batch import BatchReport, JobFailure, SortJob, execute_and_check
+from .plan_cache import PlanCache
+
+
+@dataclass
+class ShardResult:
+    """One worker's outcome: a shard-local report plus, for each successful
+    report (same order), the job's original submission index."""
+
+    indices: list[int] = field(default_factory=list)
+    report: BatchReport = field(default_factory=lambda: BatchReport(executor="process"))
+
+
+def default_shard_count(n_jobs: int) -> int:
+    """One shard per core, never more shards than jobs, at least one."""
+    return max(1, min(os.cpu_count() or 1, n_jobs))
+
+
+def partition_jobs(
+    jobs: Sequence[SortJob], num_shards: int
+) -> list[list[tuple[int, SortJob]]]:
+    """Deal ``jobs`` round-robin into at most ``num_shards`` non-empty shards,
+    tagging each job with its original submission index."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    shards: list[list[tuple[int, SortJob]]] = [[] for _ in range(num_shards)]
+    for i, job in enumerate(jobs):
+        shards[i % num_shards].append((i, job))
+    return [s for s in shards if s]
+
+
+def _picklable_error(exc: Exception) -> Exception:
+    """``exc`` if it survives a pickle round-trip, else a stand-in that does."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 — any pickling failure gets the stand-in
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def execute_shard(
+    shard: list[tuple[int, SortJob]],
+    check_sorted: bool = False,
+    constants=None,
+) -> ShardResult:
+    """Run one shard sequentially (this *is* the unit of parallelism) with a
+    shard-local plan cache; mirror of the thread executor's per-job semantics."""
+    cache = PlanCache()
+    result = ShardResult()
+    for index, job in shard:
+        try:
+            rep = execute_and_check(
+                index, job, cache=cache, constants=constants, check_sorted=check_sorted
+            )
+            result.indices.append(index)
+            result.report.reports.append(rep)
+        except Exception as exc:  # noqa: BLE001 — captured per job by design
+            result.report.failures.append(
+                JobFailure(index=index, label=job.label, error=_picklable_error(exc))
+            )
+    result.report.plan_hits, result.report.plan_misses = cache.hits, cache.misses
+    return result
+
+
+def merge_shard_reports(results: Sequence[ShardResult]) -> BatchReport:
+    """Fold per-shard reports into one: submission order restored, cache
+    stats summed.  ``wall_seconds`` is left at 0 for the caller to stamp
+    (only the orchestrator sees the full span)."""
+    merged = BatchReport(executor="process")
+    tagged = []
+    for res in results:
+        tagged.extend(zip(res.indices, res.report.reports))
+        merged.failures.extend(res.report.failures)
+        merged.plan_hits += res.report.plan_hits
+        merged.plan_misses += res.report.plan_misses
+    tagged.sort(key=lambda pair: pair[0])
+    merged.reports = [rep for _, rep in tagged]
+    merged.failures.sort(key=lambda f: f.index)
+    return merged
+
+
+def run_sharded(
+    jobs: Sequence[SortJob],
+    num_shards: int | None = None,
+    check_sorted: bool = False,
+    constants=None,
+) -> BatchReport:
+    """Partition → one worker process per shard → merged :class:`BatchReport`.
+
+    ``num_shards`` defaults to :func:`default_shard_count`.  A single shard
+    short-circuits the pool entirely (no point forking to serialise).
+    """
+    if not jobs:
+        return BatchReport(executor="process")
+    if num_shards is None:
+        num_shards = default_shard_count(len(jobs))
+    num_shards = max(1, min(num_shards, len(jobs)))
+    shards = partition_jobs(jobs, num_shards)
+    if len(shards) == 1:
+        return merge_shard_reports([execute_shard(shards[0], check_sorted, constants)])
+    results = []
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        futures = [
+            pool.submit(execute_shard, shard, check_sorted, constants)
+            for shard in shards
+        ]
+        for shard, fut in zip(shards, futures):
+            try:
+                results.append(fut.result())
+            except Exception as exc:  # noqa: BLE001 — e.g. BrokenProcessPool
+                # a dead worker (OOM kill, segfault) must not abort the batch
+                # or discard completed shards: record every job of the lost
+                # shard as failed, mirroring the thread executor's per-job
+                # failure-capture contract as closely as a process death
+                # allows.  Note a broken pool fails *every* unfinished future,
+                # so the message claims only that this shard didn't complete —
+                # the dying worker may have been another shard's.
+                lost = ShardResult()
+                lost.report.failures.extend(
+                    JobFailure(
+                        index=index,
+                        label=job.label,
+                        error=RuntimeError(f"shard did not complete: {exc!r}"),
+                    )
+                    for index, job in shard
+                )
+                results.append(lost)
+    return merge_shard_reports(results)

@@ -3,6 +3,7 @@
 from .generators import (
     SCENARIOS,
     adversarial_merge_killer,
+    calibration_suite,
     few_distinct,
     gaussian_keys,
     make_scenario,
@@ -17,6 +18,7 @@ from .generators import (
 __all__ = [
     "SCENARIOS",
     "adversarial_merge_killer",
+    "calibration_suite",
     "few_distinct",
     "gaussian_keys",
     "make_scenario",

@@ -125,6 +125,22 @@ def make_scenario(name: str, n: int, seed: int = 0) -> list[int]:
     return SCENARIOS[name](n, seed=seed)
 
 
+def calibration_suite(
+    sizes, scenario: str = "uniform", seed: int = 0
+) -> list[tuple[int, list[int]]]:
+    """Deterministic ``(n, data)`` pairs for planner calibration.
+
+    One input per requested size, all drawn from the same named scenario
+    (see :data:`SCENARIOS`) with a distinct per-size seed, so
+    :mod:`repro.planner.calibration` measures every algorithm on identical
+    inputs and repeated calibrations are reproducible.
+    """
+    return [
+        (int(n), make_scenario(scenario, int(n), seed=seed + i))
+        for i, n in enumerate(sizes)
+    ]
+
+
 def adversarial_merge_killer(n: int, l: int, seed: int = 0) -> list[int]:
     """Input arranged so consecutive merge runs interleave maximally.
 

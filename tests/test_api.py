@@ -23,6 +23,37 @@ class TestSortExternal:
         assert rep.extras["k"] >= 1
         assert f"k={rep.extras['k']}" in rep.algorithm
 
+    def test_default_k_uses_n(self):
+        # regression: choose_k must receive n = len(data) so the Appendix-A
+        # level-budget recipe (not the 0.3*omega fallback) picks k on the
+        # default path.  Pinned against choose_k's own n-aware answers.
+        from repro.analysis.ktuning import choose_k
+
+        for n in (500, 20_000):
+            rep = sort_external(random_permutation(n, seed=2), PARAMS)
+            assert rep.extras["k"] == choose_k(PARAMS, n=n)
+        # concrete values so a silent fallback to choose_k(params) regresses
+        # loudly: the n-blind rule of thumb says 2 for omega=8, but the
+        # level-budget recipe picks 1 at n=500 and 7 at n=20000
+        assert sort_external(random_permutation(500, seed=2), PARAMS).extras["k"] == 1
+        assert sort_external(random_permutation(20_000, seed=2), PARAMS).extras["k"] == 7
+
+    def test_selection_label_has_no_k(self):
+        # regression: selection (Lemma 4.2) has no branching factor — the
+        # label and extras must not carry one (k fragments batch aggregation)
+        rep = sort_external(random_permutation(300, seed=8), PARAMS,
+                            algorithm="selection", k=5)
+        assert rep.algorithm == "aem-selection"
+        assert rep.extras == {}
+        assert rep.family == "selection"
+        assert rep.is_sorted()
+
+    def test_family_is_canonical(self):
+        rep = sort_external(random_permutation(200, seed=6), PARAMS,
+                            algorithm="mergesort", k=3)
+        assert rep.family == "mergesort"
+        assert rep.algorithm == "aem-mergesort(k=3)"
+
     def test_cost_uses_machine_omega(self):
         rep = sort_external(random_permutation(300, seed=3), PARAMS, k=1)
         assert rep.cost() == rep.reads + 8 * rep.writes
@@ -96,6 +127,11 @@ class TestSortRam:
         rep = sort_ram(data, algorithm=alg)
         assert rep.output == sorted(data)
         assert rep.reads > 0
+
+    def test_family_is_ram(self):
+        rep = sort_ram(random_permutation(50, seed=7), algorithm="quicksort")
+        assert rep.family == "ram"
+        assert rep.algorithm == "ram-quicksort"
 
     def test_cost_requires_omega_without_params(self):
         rep = sort_ram([2, 1])

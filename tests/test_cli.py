@@ -73,8 +73,40 @@ class TestCommands:
         assert main(
             ["batch", "--jobs", "4", "--n", "200", "--algorithm", "mergesort"]
         ) == 0
-        assert "aem-mergesort" in capsys.readouterr().out
+        # the routing mix is keyed on the canonical family (no k fragment)
+        assert "mergesort" in capsys.readouterr().out
 
     def test_batch_unknown_scenario(self, capsys):
         assert main(["batch", "--jobs", "2", "--mix", "chaos"]) == 2
         assert "unknown scenarios" in capsys.readouterr().out
+
+    def test_batch_process_executor(self, capsys):
+        assert main(
+            ["batch", "--jobs", "6", "--n", "300", "--executor", "process",
+             "--workers", "2", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[process]" in out
+        assert "0 failed" in out
+
+    def test_batch_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--executor", "gpu"])
+
+    def test_calibrate_command(self, capsys, tmp_path):
+        save = tmp_path / "constants.json"
+        assert main(
+            ["calibrate", "--sizes", "256,1024", "--plan-n", "1024",
+             "--save", str(save)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "calibrated constants" in out
+        assert "calibrated vs measured ranking" in out
+        assert save.exists()
+        # the saved constants feed straight back into plan/batch
+        assert main(["plan", "--n", "20000", "--constants", str(save)]) == 0
+        assert "predicted plan" in capsys.readouterr().out
+
+    def test_calibrate_unknown_scenario(self, capsys):
+        assert main(["calibrate", "--scenario", "chaos"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out

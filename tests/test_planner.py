@@ -23,6 +23,26 @@ class TestCostModel:
         with pytest.raises(ValueError, match="n <= M"):
             predict_candidate("ram", 1000, SMALL)
 
+    def test_explicitly_requested_ram_oversized_raises(self):
+        # regression: an explicit algorithms=("ram", ...) request must not be
+        # silently dropped when n > M — only the algorithms=None auto-field
+        # skips the infeasible in-memory plan
+        with pytest.raises(ValueError, match="n <= M"):
+            rank_plans(1000, SMALL, algorithms=("ram",))
+        with pytest.raises(ValueError, match="n <= M"):
+            rank_plans(1000, SMALL, algorithms=("mergesort", "ram"))
+        # the default field still auto-skips
+        assert not any(c.algorithm == "ram" for c in rank_plans(1000, SMALL))
+
+    def test_explicitly_requested_infeasible_recursive_sort_raises(self):
+        # same contract for the k-parameterised sorts: on an M = B machine
+        # the merge fanout is degenerate — the auto field drops them quietly,
+        # an explicit request must raise
+        degenerate = MachineParams(M=8, B=8, omega=8)
+        with pytest.raises(ValueError, match="infeasible"):
+            rank_plans(100, degenerate, algorithms=("mergesort", "selection"))
+        assert [c.algorithm for c in rank_plans(100, degenerate)] == ["selection"]
+
     def test_unknown_algorithm(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
             predict_candidate("bogosort", 100, SMALL)
@@ -257,3 +277,53 @@ class TestBatchExecutor:
             )
             report = run_batch([job], check_sorted=True)
             assert report.jobs_completed == 1, (alg, report.failures)
+
+    def test_summary_surfaces_plan_cache_stats(self):
+        # adaptive jobs with a repeated (n, machine) shape hit the memoised
+        # plan; pinned jobs never consult the cache
+        jobs = [
+            SortJob(data=random_permutation(400, seed=i), params=SMALL)
+            for i in range(6)
+        ]
+        report = run_batch(jobs)
+        assert report.plan_misses == 1 and report.plan_hits == 5
+        summary = report.summary()
+        assert summary["plan_hits"] == 5 and summary["plan_misses"] == 1
+        assert summary["executor"] == "thread"
+        pinned = [
+            SortJob(data=random_permutation(80, seed=i), params=SMALL,
+                    algorithm="mergesort", k=2)
+            for i in range(3)
+        ]
+        report = run_batch(pinned)
+        assert report.plan_hits == 0 and report.plan_misses == 0
+
+    def test_caller_supplied_cache_reused_across_batches(self):
+        from repro.planner import PlanCache
+
+        cache = PlanCache()
+        jobs = [
+            SortJob(data=random_permutation(500, seed=i), params=SMALL)
+            for i in range(4)
+        ]
+        first = run_batch(jobs, plan_cache=cache)
+        assert first.plan_misses == 1 and first.plan_hits == 3
+        second = run_batch(jobs, plan_cache=cache)
+        # warm cache: every plan is a hit, and per-batch stats are deltas
+        assert second.plan_misses == 0 and second.plan_hits == 4
+
+    def test_mix_keyed_on_family_not_k(self):
+        # two different pinned k values land in one "mergesort" bucket, and
+        # selection (no branching factor) is one bucket too
+        jobs = [
+            SortJob(data=random_permutation(300, seed=0), params=SMALL,
+                    algorithm="mergesort", k=2),
+            SortJob(data=random_permutation(300, seed=1), params=SMALL,
+                    algorithm="mergesort", k=3),
+            SortJob(data=random_permutation(300, seed=2), params=SMALL,
+                    algorithm="selection"),
+        ]
+        report = run_batch(jobs)
+        assert report.algorithm_mix() == {"mergesort": 2, "selection": 1}
+        rows = {row["family"]: row["jobs"] for row in report.mix_rows()}
+        assert rows == {"mergesort": 2, "selection": 1}

@@ -1,0 +1,207 @@
+"""Tests for the process-pool batch executor and the sharding layer."""
+
+import pytest
+
+from repro import MachineParams, SortJob, run_batch
+from repro.planner.sharding import (
+    default_shard_count,
+    execute_shard,
+    merge_shard_reports,
+    partition_jobs,
+)
+from repro.workloads import make_scenario, random_permutation
+
+SMALL = MachineParams(M=64, B=8, omega=8)
+
+
+def _mixed_jobs(count=12, base_n=200):
+    mix = ["uniform", "presorted", "reversed", "duplicates"]
+    return [
+        SortJob(
+            data=make_scenario(mix[i % 4], base_n + 31 * i, seed=i),
+            params=SMALL,
+            label=f"{mix[i % 4]}/{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestPartitioning:
+    def test_round_robin_preserves_indices(self):
+        jobs = _mixed_jobs(7)
+        shards = partition_jobs(jobs, 3)
+        assert len(shards) == 3
+        assert sorted(i for shard in shards for i, _ in shard) == list(range(7))
+        # round-robin: shard s holds indices s, s+3, s+6, ...
+        assert [i for i, _ in shards[0]] == [0, 3, 6]
+        assert [i for i, _ in shards[1]] == [1, 4]
+
+    def test_more_shards_than_jobs_drops_empties(self):
+        shards = partition_jobs(_mixed_jobs(2), 5)
+        assert len(shards) == 2
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            partition_jobs(_mixed_jobs(2), 0)
+
+    def test_default_shard_count_bounds(self):
+        assert default_shard_count(0) == 1
+        assert 1 <= default_shard_count(100)
+
+
+class TestProcessExecutor:
+    def test_thread_and_process_identical_aggregates(self):
+        # the acceptance criterion: identical model-level totals from both
+        # executors on the identical job list (same per-job simulation, only
+        # scheduling differs)
+        jobs = _mixed_jobs(12)
+        thread = run_batch(jobs, executor="thread")
+        process = run_batch(jobs, executor="process", max_workers=2)
+        assert not thread.failures and not process.failures
+        assert process.total_reads == thread.total_reads
+        assert process.total_writes == thread.total_writes
+        assert process.total_cost() == thread.total_cost()
+        assert process.total_records == thread.total_records
+        assert process.algorithm_mix() == thread.algorithm_mix()
+        assert [r.n for r in process.reports] == [r.n for r in thread.reports]
+        assert process.executor == "process" and thread.executor == "thread"
+
+    def test_reports_in_submission_order(self):
+        jobs = [
+            SortJob(data=random_permutation(100 + i, seed=i), params=SMALL)
+            for i in range(10)
+        ]
+        report = run_batch(jobs, executor="process", max_workers=3)
+        assert [r.n for r in report.reports] == [100 + i for i in range(10)]
+
+    def test_failures_captured_per_job(self):
+        good = SortJob(data=random_permutation(100, seed=0), params=SMALL)
+        bad = SortJob(data=[3, 1, 2], params=SMALL, algorithm="bogosort", label="bad")
+        report = run_batch([good, bad, good], executor="process", max_workers=2)
+        assert report.jobs_completed == 2
+        assert len(report.failures) == 1
+        assert report.failures[0].index == 1
+        assert report.failures[0].label == "bad"
+        assert isinstance(report.failures[0].error, ValueError)
+
+    def test_pinned_ram_oversized_is_a_captured_failure(self):
+        # a job whose pinned "ram" algorithm exceeds M is recorded as a
+        # JobFailure, not dropped — and the rest of the batch completes
+        jobs = [
+            SortJob(data=random_permutation(500, seed=0), params=SMALL,
+                    algorithm="ram", label="too-big"),
+            SortJob(data=random_permutation(50, seed=1), params=SMALL,
+                    algorithm="ram", label="fits"),
+        ]
+        report = run_batch(jobs, executor="process", max_workers=2)
+        assert report.jobs_completed == 1
+        assert [f.label for f in report.failures] == ["too-big"]
+        assert isinstance(report.failures[0].error, ValueError)
+        summary = report.summary()
+        assert summary["jobs"] == 1 and summary["failed"] == 1
+
+    def test_check_sorted_enforced_in_workers(self):
+        jobs = [SortJob(data=random_permutation(300, seed=7), params=SMALL)]
+        report = run_batch(jobs, executor="process", max_workers=1, check_sorted=True)
+        assert report.jobs_completed == 1 and not report.failures
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_batch(_mixed_jobs(2), executor="gpu")
+
+    def test_nonpositive_workers_rejected_by_both_backends(self):
+        for executor in ("thread", "process"):
+            with pytest.raises(ValueError, match="max_workers"):
+                run_batch(_mixed_jobs(2), executor=executor, max_workers=0)
+
+    def test_dead_shard_worker_fails_its_jobs_not_the_batch(self, monkeypatch):
+        # a worker death (OOM kill, segfault) surfaces as the future raising;
+        # the lost shard's jobs become JobFailures and other shards survive
+        import repro.planner.sharding as sharding
+
+        real = sharding.execute_shard
+
+        def flaky(shard, check_sorted=False, constants=None):
+            if any(index == 0 for index, _ in shard):
+                raise RuntimeError("simulated worker death")
+            return real(shard, check_sorted, constants)
+
+        class InlinePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                from concurrent.futures import Future
+
+                fut = Future()
+                try:
+                    fut.set_result(fn(*args))
+                except Exception as e:  # noqa: BLE001
+                    fut.set_exception(e)
+                return fut
+
+        monkeypatch.setattr(sharding, "execute_shard", flaky)
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", InlinePool)
+        jobs = _mixed_jobs(6)
+        report = sharding.run_sharded(jobs, num_shards=2)
+        # shard 0 held indices 0, 2, 4 — all recorded failed; shard 1 survives
+        assert report.jobs_completed == 3
+        assert [f.index for f in report.failures] == [0, 2, 4]
+        assert all("did not complete" in str(f.error) for f in report.failures)
+
+    def test_empty_batch(self):
+        report = run_batch([], executor="process")
+        assert report.jobs_completed == 0 and report.executor == "process"
+
+    def test_per_shard_plan_caches_report_hits(self):
+        # 8 jobs of the same n over 2 shards: each shard plans once and hits
+        # three times; merged stats show 2 misses + 6 hits
+        jobs = [
+            SortJob(data=random_permutation(400, seed=i), params=SMALL)
+            for i in range(8)
+        ]
+        report = run_batch(jobs, executor="process", max_workers=2)
+        assert report.plan_misses == 2
+        assert report.plan_hits == 6
+        assert report.summary()["plan_hits"] == 6
+
+
+class TestShardUnits:
+    def test_run_sharded_empty_jobs(self):
+        from repro.planner.sharding import run_sharded
+
+        report = run_sharded([])
+        assert report.jobs_completed == 0 and report.executor == "process"
+
+    def test_execute_shard_runs_inline(self):
+        jobs = _mixed_jobs(4)
+        result = execute_shard(list(enumerate(jobs)))
+        assert len(result.indices) == 4
+        assert result.report.jobs_completed == 4
+        assert result.report.plan_misses > 0
+
+    def test_merge_restores_submission_order(self):
+        jobs = _mixed_jobs(6)
+        shards = partition_jobs(jobs, 2)
+        merged = merge_shard_reports([execute_shard(s) for s in shards])
+        assert [r.n for r in merged.reports] == [j.data.__len__() for j in jobs]
+        assert merged.plan_misses > 0
+
+    def test_unpicklable_error_replaced_by_standin(self):
+        from repro.planner.sharding import _picklable_error
+
+        class Weird(Exception):
+            def __init__(self, a, b):  # noqa: ARG002 - signature breaks pickling
+                super().__init__(a)
+
+        standin = _picklable_error(Weird("x", "y"))
+        assert isinstance(standin, RuntimeError)
+        assert "Weird" in str(standin)
+        plain = ValueError("fine")
+        assert _picklable_error(plain) is plain
