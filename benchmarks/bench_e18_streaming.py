@@ -1,0 +1,64 @@
+"""E18 — streaming entry point: buffer-tree ingest throughput and I/O bound.
+
+Claims asserted for ``SortEngine.stream()`` (the §4.3 buffer-tree-backed
+session):
+
+* the drained output is exactly ``sorted(records)`` with interleaved
+  deletions applied;
+* total block I/O stays within a 2x constant of the Theorem 4.10
+  unit-constant closed form (``predict_stream_io``) — i.e. per-record
+  amortized I/O matches the ``O((k/B)(1 + log_{kM/B} n))`` read /
+  ``O((1/B)(1 + log_{kM/B} n))`` write shape;
+* ingest throughput (records/s of simulated wall time) is recorded in
+  ``extra_info`` alongside the per-record block transfers, so regressions in
+  the hot insert path surface in the benchmark report.
+"""
+
+from conftest import run_once
+
+from repro import MachineParams, SortEngine
+from repro.planner.cost_model import predict_stream_io
+from repro.workloads import random_permutation
+
+PARAMS = MachineParams(M=64, B=8, omega=8)
+N = 30_000
+
+
+def _stream_session(n):
+    engine = SortEngine(PARAMS)
+    data = random_permutation(n, seed=18)
+    with engine.stream() as session:
+        session.push_many(data)
+        # a sprinkle of general deletions (§4.3.1) on the ingest path
+        for victim in range(0, n, 100):
+            session.delete(victim)
+    return data, session
+
+
+def bench_e18_streaming(benchmark):
+    data, session = run_once(benchmark, _stream_session, N)
+    report = session.report
+    deleted = set(range(0, N, 100))
+    assert report.output == sorted(set(data) - deleted)
+
+    # the report's own prediction covers pushes + deletes (every tree op)
+    pred_reads = report.extras["predicted_reads"]
+    pred_writes = report.extras["predicted_writes"]
+    assert (pred_reads, pred_writes) == predict_stream_io(
+        session.pushed + session.deleted, PARAMS, session.k
+    )
+    assert report.reads <= 2 * pred_reads, "streaming read bound blew up"
+    assert report.writes <= 2 * pred_writes, "streaming write bound blew up"
+
+    wall = benchmark.stats.stats.mean
+    ingested = session.pushed + session.deleted
+    benchmark.extra_info.update(
+        {
+            "records_per_s": round(ingested / wall, 1) if wall > 0 else 0.0,
+            "block_reads": report.reads,
+            "block_writes": report.writes,
+            "reads_over_pred": round(report.reads / pred_reads, 3),
+            "writes_over_pred": round(report.writes / pred_writes, 3),
+            "io_per_record": round((report.reads + report.writes) / report.n, 4),
+        }
+    )

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: sort under asymmetric read/write costs and read the bill.
 
-This walks the three levels of the library in ~40 lines of user code:
+One ``SortEngine`` owns the machine, the plan cache, and the calibrated
+constants; every entry point hangs off it.  This walks the levels in ~50
+lines of user code:
 
 1. pick a machine (`MachineParams`): memory M, block size B, write cost omega;
-2. sort with a write-efficient algorithm and with its classic counterpart;
-3. compare the asymmetric I/O costs the two algorithms pay.
+2. build an engine and let it plan (``engine.sort(data)``) or pin a
+   write-efficient algorithm and its classic counterpart explicitly;
+3. compare the asymmetric I/O costs the algorithms pay;
+4. push records incrementally through ``engine.stream()``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import MachineParams, sort_external, sort_ram
+from repro import MachineParams, SortEngine
 from repro.analysis.ktuning import choose_k
 from repro.analysis.tables import format_table
 from repro.workloads import random_permutation
@@ -20,6 +24,7 @@ def main() -> None:
     # An NVM-like machine: writes cost 16x reads (cf. the PCM/ReRAM numbers
     # in §2 of the paper), 64-record primary memory, 8-record blocks.
     params = MachineParams(M=64, B=8, omega=16)
+    engine = SortEngine(params)
     n = 10_000
     data = random_permutation(n, seed=42)
 
@@ -34,7 +39,7 @@ def main() -> None:
         (f"AEM sample sort (k={k})", "samplesort", k),
         (f"AEM heapsort   (k={k})", "heapsort", k),
     ]:
-        rep = sort_external(data, params, algorithm=algorithm, k=kk)
+        rep = engine.sort(data, algorithm=algorithm, k=kk)
         assert rep.is_sorted()
         rows.append(
             {
@@ -48,7 +53,17 @@ def main() -> None:
     saved = rows[0]["cost R+wW"] / rows[1]["cost R+wW"]
     print(f"\nwrite-efficient mergesort is {saved:.2f}x cheaper than classic here\n")
 
+    # ---- adaptive planning -------------------------------------------- #
+    auto = engine.sort(data)  # the planner picks; the plan rides along
+    print(
+        f"engine.sort chose {auto.algorithm} "
+        f"(predicted cost {auto.extras['plan']['chosen']['predicted_cost']:g}, "
+        f"measured {auto.cost():g})\n"
+    )
+
     # ---- RAM-model sorting (§3) ---------------------------------------- #
+    from repro import sort_ram
+
     rows = []
     for alg in ("bst-rb", "heapsort"):
         rep = sort_ram(data, algorithm=alg)
@@ -61,6 +76,16 @@ def main() -> None:
             }
         )
     print(format_table(rows, title="RAM sorts (§3): O(n) vs Theta(n log n) writes"))
+
+    # ---- streaming ingestion (§4.3 buffer tree) ------------------------ #
+    with engine.stream() as session:
+        session.push_many(random_permutation(2000, seed=7))
+        session.delete(13)
+    rep = session.report
+    print(
+        f"\nstreamed 2000 records (1 deleted) -> {rep.n} out, sorted={rep.is_sorted()}, "
+        f"{rep.reads} block reads, {rep.writes} block writes"
+    )
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ True
 """
 
 from .api import SortReport, sort_auto, sort_external, sort_ram
+from .engine import EXTERNAL_SORTS, SortEngine, StreamSession
 from .core import (
     AEMPriorityQueue,
     BufferTree,
@@ -63,14 +64,17 @@ __all__ = [
     "CostConstants",
     "CostCounter",
     "DepthTracker",
+    "EXTERNAL_SORTS",
     "InstrumentedArray",
     "MachineParams",
     "MemoryGuard",
     "PlanCache",
     "SimArray",
+    "SortEngine",
     "SortJob",
     "SortPlan",
     "SortReport",
+    "StreamSession",
     "aem_heapsort",
     "aem_mergesort",
     "aem_samplesort",

@@ -23,6 +23,16 @@ Subcommands
     Fit per-algorithm leading constants from measured runs, print them, and
     compare the calibrated predicted ranking against the measured-cost
     ranking at a probe size.
+``stream [--input FILE] [--random N] [--k K] [--M M] [--B B] [--omega W]``
+    Feed records one at a time into the buffer-tree-backed streaming session
+    (``SortEngine.stream()``) and print the sorted-drain report.  Records
+    come from ``--input`` (one key per line, ``-`` = stdin, lines of the
+    form ``del KEY`` delete a live key) or from ``--random N`` (a seeded
+    random permutation).
+
+``sort`` / ``batch`` / ``calibrate`` / ``stream`` all route through one
+:class:`~repro.engine.SortEngine`, so a single plan cache and constants set
+serves every job of a command invocation.
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ import time
 
 from .analysis.ktuning import sweep_k
 from .analysis.tables import format_table
-from .api import sort_external
+from .engine import SortEngine
 from .experiments import ALL_EXPERIMENTS
 from .models.params import MachineParams
 from .planner import (
@@ -44,7 +54,6 @@ from .planner import (
     fit_constants,
     measure_samples,
     rank_plans,
-    run_batch,
 )
 from .workloads import SCENARIOS, make_scenario, random_permutation
 
@@ -66,8 +75,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_sort(args: argparse.Namespace) -> int:
     params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    engine = SortEngine(params)
     data = random_permutation(args.n, seed=args.seed)
-    rep = sort_external(data, params, algorithm=args.algorithm, k=args.k)
+    try:
+        rep = engine.sort(data, algorithm=args.algorithm, k=args.k)
+    except ValueError as exc:  # e.g. --algorithm ram with n > M
+        print(f"cannot run this sort: {exc}")
+        return 2
     assert rep.is_sorted()
     print(
         format_table(
@@ -145,13 +159,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     t0 = time.time()
-    report = run_batch(
-        jobs,
-        max_workers=args.workers,
-        check_sorted=args.check,
-        executor=args.executor,
+    engine = SortEngine(
+        params,
         constants=_load_constants(args.constants),
+        executor=args.executor,
+        workers=args.workers,
     )
+    report = engine.batch(jobs, check_sorted=args.check)
     print(
         format_table(
             [report.summary()],
@@ -218,6 +232,104 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stream_line(line: str):
+    """One input line → ``("del", key)`` or ``("push", key)`` or ``None``.
+
+    Keys parse as int when possible, float next, raw string otherwise (all
+    keys in one stream must stay mutually comparable).
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    op = "push"
+    if line.startswith("del "):
+        op, line = "del", line[4:].strip()
+    try:
+        key = int(line)
+    except ValueError:
+        try:
+            key = float(line)
+        except ValueError:
+            key = line
+    return op, key
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    engine = SortEngine(params)
+    t0 = time.time()
+    session = engine.stream(k=args.k)
+    if args.random is not None:
+        session.push_many(random_permutation(args.random, seed=args.seed))
+    else:
+        try:
+            fh = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot read records from {args.input!r}: {exc}")
+            return 2
+        try:
+            for lineno, raw in enumerate(fh, start=1):
+                parsed = _parse_stream_line(raw)
+                if parsed is None:
+                    continue
+                op, key = parsed
+                try:
+                    if op == "del":
+                        session.delete(key)
+                    else:
+                        session.push(key)
+                except (KeyError, TypeError) as exc:
+                    # delete of an absent key, or mutually incomparable keys
+                    print(f"bad record at line {lineno} ({raw.strip()!r}): {exc}")
+                    return 1
+        finally:
+            if fh is not sys.stdin:
+                fh.close()
+    try:
+        rep = session.close()
+    except TypeError as exc:  # incomparable keys caught at the drain
+        print(f"cannot drain stream: {exc}")
+        return 1
+    wall = time.time() - t0
+    if args.check and not rep.is_sorted():
+        print("ERROR: drained output is not sorted")
+        return 1
+    ingested = session.pushed + session.deleted
+    print(
+        format_table(
+            [
+                {
+                    "records": rep.n,
+                    "pushed": session.pushed,
+                    "deleted": session.deleted,
+                    "block reads": rep.reads,
+                    "block writes": rep.writes,
+                    "cost R+wW": rep.cost(),
+                    "records/s": round(ingested / wall, 1) if wall > 0 else 0.0,
+                }
+            ],
+            title=f"streaming session on {params} [buffer tree, k={session.k}]",
+        )
+    )
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "emptyings": rep.extras["emptyings"],
+                    "leaf splits": rep.extras["leaf_splits"],
+                    "internal splits": rep.extras["internal_splits"],
+                    "annihilations": rep.extras["annihilations"],
+                    "pred reads": round(rep.extras["predicted_reads"], 1),
+                    "pred writes": round(rep.extras["predicted_writes"], 1),
+                }
+            ],
+            title="buffer-tree statistics vs unit-constant prediction",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,7 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sort = sub.add_parser("sort", help="run one instrumented sort")
     p_sort.add_argument("--algorithm", default="mergesort",
-                        choices=["mergesort", "samplesort", "heapsort", "selection"])
+                        choices=["auto", "mergesort", "samplesort", "heapsort",
+                                 "selection", "ram"])
     p_sort.add_argument("--n", type=int, default=10_000)
     p_sort.add_argument("--k", type=int, default=None)
     p_sort.add_argument("--M", type=int, default=64)
@@ -302,6 +415,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--save", default=None, metavar="FILE",
                        help="write the fitted constants as JSON")
     p_cal.set_defaults(fn=_cmd_calibrate)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="ingest records incrementally through the buffer-tree stream",
+    )
+    p_stream.add_argument("--input", default="-", metavar="FILE",
+                          help="records file, one key per line ('del KEY' "
+                               "deletes; '-' = stdin)")
+    p_stream.add_argument("--random", type=int, default=None, metavar="N",
+                          help="ignore --input and push a seeded random "
+                               "permutation of N records")
+    p_stream.add_argument("--k", type=int, default=None,
+                          help="buffer-tree extra branching factor "
+                               "(default: Appendix-A recipe)")
+    p_stream.add_argument("--M", type=int, default=64)
+    p_stream.add_argument("--B", type=int, default=8)
+    p_stream.add_argument("--omega", type=int, default=8)
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--check", action="store_true",
+                          help="verify the drained output is sorted")
+    p_stream.set_defaults(fn=_cmd_stream)
     return parser
 
 

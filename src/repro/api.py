@@ -1,24 +1,21 @@
 """High-level façade: one call to sort under a chosen model + algorithm,
 returning both the output and a cost report.
 
-This is the entry point a downstream user starts from (see README and
-``examples/quickstart.py``); the individual algorithm modules remain available
-for fine-grained control.
+Since the :class:`~repro.engine.SortEngine` redesign, the canonical entry
+point is an engine instance — ``SortEngine(params).sort(...)`` /
+``.batch(...)`` / ``.calibrate()`` / ``.stream()`` — which owns the machine,
+the shared plan cache and the calibrated constants once.  The module-level
+calls below are kept as thin backward-compatible shims over a throwaway
+engine (identical reports, no shared state between calls); the individual
+algorithm modules remain available for fine-grained control.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from .core.aem_heapsort import aem_heapsort
-from .core.aem_mergesort import aem_mergesort
-from .core.aem_samplesort import aem_samplesort
-from .core.ram_sort import RAM_SORTS
-from .core.selection_sort import selection_sort
 from .models.counters import CostCounter
-from .models.external_memory import AEMachine, MemoryGuard
 from .models.params import MachineParams
 
 
@@ -36,9 +33,9 @@ class SortReport:
     extras: dict = field(default_factory=dict)
     #: canonical algorithm family — one of the planner's buckets
     #: (``"mergesort"``, ``"samplesort"``, ``"heapsort"``, ``"selection"``,
-    #: ``"ram"``) regardless of the k-annotated display label, so batch
-    #: aggregation groups by *algorithm*, not by ``(algorithm, k)``.  Falls
-    #: back to the display label when not set explicitly.
+    #: ``"ram"``, ``"stream"``) regardless of the k-annotated display label,
+    #: so batch aggregation groups by *algorithm*, not by ``(algorithm, k)``.
+    #: Falls back to the display label when not set explicitly.
     family: str = ""
     #: which counter granularity this report's model charges: ``"block"``
     #: (AEM/external sorts) or ``"element"`` (RAM sorts).  Explicit so that a
@@ -81,27 +78,21 @@ class SortReport:
         )
 
 
-_EXTERNAL_SORTS = {
-    "mergesort": aem_mergesort,
-    "samplesort": aem_samplesort,
-    "heapsort": aem_heapsort,
-    "selection": None,  # handled specially (no k argument)
-}
-
-
 def sort_external(
     data: Sequence,
     params: MachineParams,
     algorithm: str = "mergesort",
     k: int | None = None,
 ) -> SortReport:
-    """Sort ``data`` on a fresh AEM machine.
+    """Sort ``data`` on a fresh AEM machine (shim over
+    :meth:`~repro.engine.SortEngine.sort`).
 
     Parameters
     ----------
     algorithm:
         ``"mergesort"`` (Algorithm 2), ``"samplesort"`` (§4.2), ``"heapsort"``
-        (§4.3 buffer-tree priority queue), or ``"selection"`` (Lemma 4.2).
+        (§4.3 buffer-tree priority queue), or ``"selection"`` (Lemma 4.2) —
+        the :data:`~repro.engine.EXTERNAL_SORTS` registry.
     k:
         Extra branching factor (ignored by ``"selection"``, which has none).
         Defaults to the Appendix-A recipe
@@ -110,59 +101,22 @@ def sort_external(
 
     Returns a :class:`SortReport` with block-level counts.
     """
-    if algorithm not in _EXTERNAL_SORTS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(_EXTERNAL_SORTS)}"
-        )
-    machine = AEMachine(params)
-    arr = machine.from_list(data, name="input")
-    guard = MemoryGuard()
-    if algorithm == "selection":
-        # selection (Lemma 4.2) has no branching factor: no k in the label,
-        # no k in extras — one batch-aggregation bucket, not one per k
-        out = selection_sort(machine, arr, guard=guard)
-        label, extras = "aem-selection", {}
-    else:
-        if k is None:
-            from .analysis.ktuning import choose_k
+    from .engine import SortEngine
 
-            k = choose_k(params, n=len(data))
-        out = _EXTERNAL_SORTS[algorithm](machine, arr, k, guard=guard)
-        label, extras = f"aem-{algorithm}(k={k})", {"k": k}
-    return SortReport(
-        algorithm=label,
-        n=len(data),
-        params=params,
-        output=out.peek_list(),
-        counter=machine.counter,
-        memory_high_water=guard.high_water,
-        extras=extras,
-        family=algorithm,
-        granularity="block",
-    )
+    return SortEngine(params).sort(data, algorithm=algorithm, k=k)
 
 
 def sort_ram(data: Sequence, algorithm: str = "bst-rb") -> SortReport:
-    """Sort ``data`` in the Asymmetric RAM model (§3).
+    """Sort ``data`` in the Asymmetric RAM model (§3); shim over
+    :func:`repro.engine.ram_sort_report`.
 
     ``algorithm`` is one of :data:`repro.core.ram_sort.RAM_SORTS`
     (``bst-rb``, ``bst-treap``, ``bst-avl``, ``quicksort``, ``mergesort``,
     ``heapsort``).
     """
-    if algorithm not in RAM_SORTS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(RAM_SORTS)}"
-        )
-    out, counter = RAM_SORTS[algorithm](data)
-    return SortReport(
-        algorithm=f"ram-{algorithm}",
-        n=len(data),
-        params=None,
-        output=out,
-        counter=counter,
-        family="ram",
-        granularity="element",
-    )
+    from .engine import ram_sort_report
+
+    return ram_sort_report(data, algorithm=algorithm)
 
 
 def sort_auto(
@@ -171,14 +125,17 @@ def sort_auto(
     algorithms: tuple[str, ...] | None = None,
     constants=None,
     cache=None,
+    ram_algorithm: str = "bst-rb",
 ) -> SortReport:
-    """Sort ``data`` with the cost-model-chosen best algorithm.
+    """Sort ``data`` with the cost-model-chosen best algorithm (shim over
+    :meth:`~repro.engine.SortEngine.sort` with ``algorithm="auto"``).
 
     Builds a ranked :class:`~repro.planner.cost_model.SortPlan` from the
     paper's exact predicted bounds (Theorems 4.3/4.5/4.10, Lemma 4.2, and the
     in-memory case when ``n <= M``) and executes the winner: external
-    algorithms run through :func:`sort_external` with the plan's branching
-    factor ``k``; the ``ram`` plan runs the §3 BST sort via :func:`sort_ram`.
+    algorithms run at the plan's branching factor ``k``; the ``ram`` plan
+    runs in primary memory (``ram_algorithm`` picks the
+    :data:`~repro.core.ram_sort.RAM_SORTS` entry, default the §3 BST sort).
 
     The returned report carries the full plan in ``extras["plan"]`` (chosen
     candidate plus the ranked alternatives) so callers can audit the routing
@@ -188,43 +145,33 @@ def sort_auto(
     :class:`~repro.planner.plan_cache.PlanCache`) memoises the ranking across
     calls.
     """
-    from .planner.cost_model import plan_sort
+    from .engine import SortEngine
 
-    if cache is not None:
-        plan = cache.plan(len(data), params, algorithms=algorithms, constants=constants)
-    else:
-        plan = plan_sort(len(data), params, algorithms=algorithms, constants=constants)
-    chosen = plan.chosen
-    if chosen.model == "ram":
-        report = ram_report_on_machine(data, params)
-    else:
-        report = sort_external(data, params, algorithm=chosen.algorithm, k=chosen.k)
-    report.extras["plan"] = plan.as_dict()
-    return report
+    engine = SortEngine(params, constants=constants, cache=cache)
+    return engine.sort(
+        data, algorithm="auto", algorithms=algorithms, ram_algorithm=ram_algorithm
+    )
 
 
-def ram_report_on_machine(data: Sequence, params: MachineParams) -> SortReport:
-    """Run the §3 BST sort on an input that fits in primary memory, reported
-    at the AEM machine's *block* granularity.
+def ram_report_on_machine(
+    data: Sequence, params: MachineParams, algorithm: str = "bst-rb"
+) -> SortReport:
+    """Run an in-memory sort on an input that fits in primary memory,
+    reported at the AEM machine's *block* granularity (shim over
+    :func:`repro.engine.ram_on_machine_report`).
 
     The AEM cost of the in-memory plan is its transfer cost — one scan in
     (``ceil(n/B)`` block reads), sort for free in primary memory, one stream
     out (``ceil(n/B)`` block writes) — so the report is commensurable with
     external-sort reports and with the planner's predictions (the in-memory
-    element tallies stay visible on ``report.counter``).
+    element tallies stay visible on ``report.counter``).  ``algorithm``
+    selects any :data:`~repro.core.ram_sort.RAM_SORTS` entry (default the
+    §3 BST sort).
 
     Raises ``ValueError`` when ``n > M`` — the input would not fit in primary
     memory, exactly as :func:`repro.planner.cost_model.predict_candidate`
     rejects the ``ram`` plan for such an ``n``.
     """
-    if len(data) > params.M:
-        raise ValueError(
-            f"ram sort requires n <= M, got n={len(data)} > M={params.M}"
-        )
-    report = sort_ram(data, algorithm="bst-rb")
-    report.params = params
-    blocks = math.ceil(len(data) / params.B)
-    report.counter.charge_block_read(blocks)
-    report.counter.charge_block_write(blocks)
-    report.granularity = "block"
-    return report
+    from .engine import ram_on_machine_report
+
+    return ram_on_machine_report(data, params, algorithm=algorithm)

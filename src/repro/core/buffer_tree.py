@@ -503,8 +503,46 @@ class BufferTree:
 
         walk(self.root, None, None)
 
+    # ------------------------------------------------------------------ #
+    # public streaming hooks (the engine's ``StreamSession`` drains here)
+    # ------------------------------------------------------------------ #
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next operation will receive — a unique,
+        monotonically increasing id a caller may embed in composite keys
+        (the §2 position-index uniquification) before the insert consumes
+        it."""
+        return self._seq
+
+    def drain_stream(self):
+        """Yield every element in sorted order, charging each leaf's block
+        reads as it is scanned (leftmost-leaf pops under the hood).
+
+        The streaming counterpart of :meth:`drain_sorted`: records are
+        surfaced one at a time so a consumer can re-block them without ever
+        materialising the whole output in primary memory.
+        """
+        while self.size > 0:
+            leaf = self.pop_leftmost_leaf()
+            if leaf is None:
+                break
+            yield from self.machine.scan(leaf)
+
+    def io_stats(self) -> dict:
+        """Structural counters for reports: emptyings, splits, annihilations."""
+        return {
+            "emptyings": self.emptyings,
+            "leaf_splits": self.leaf_splits,
+            "internal_splits": self.internal_splits,
+            "annihilations": self.annihilations,
+        }
+
     def drain_sorted(self) -> list:
-        """Pop every leaf in order; return all elements (testing utility)."""
+        """Pop every leaf in order; return all elements (testing utility).
+
+        Uses :meth:`peek_list` (uncharged) — tests inspect contents without
+        billing the machine; production consumers use :meth:`drain_stream`.
+        """
         out: list = []
         while self.size > 0:
             leaf = self.pop_leftmost_leaf()

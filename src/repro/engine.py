@@ -1,0 +1,547 @@
+"""The :class:`SortEngine` session façade: one object, every entry point.
+
+The public surface had grown call-by-call — ``sort_external`` / ``sort_ram``
+/ ``sort_auto`` / ``run_batch`` / ``calibrate`` each re-threaded ``params``,
+``constants=``, ``cache=`` and executor knobs — and none of them could accept
+records *incrementally*.  ``SortEngine`` is the canonical entry point that
+owns the configuration once:
+
+* one :class:`~repro.models.params.MachineParams` (the machine every call
+  runs on unless a batch job pins its own),
+* one :class:`~repro.planner.plan_cache.PlanCache` shared by every adaptive
+  path (one-shot, batch, streaming), so plans are memoised across the whole
+  session,
+* one optional :class:`~repro.planner.calibration.CostConstants` so every
+  ranking uses the same calibrated leading constants (refreshable in place
+  via :meth:`SortEngine.calibrate`),
+* the default batch executor (``"thread"`` or ``"process"``) and pool width.
+
+Entry points
+------------
+``engine.sort(data, algorithm="auto")``
+    One-shot sort: adaptive planning by default, or any registry algorithm
+    (``mergesort`` / ``samplesort`` / ``heapsort`` / ``selection`` / ``ram``).
+``engine.batch(jobs)``
+    Concurrent execution of many jobs through the engine's shared plan cache
+    and constants (:class:`~repro.planner.batch.BatchReport`).
+``engine.calibrate()``
+    Measure + fit :class:`CostConstants` on the engine's machine and adopt
+    them for every subsequent ranking.
+``engine.stream()``
+    The streaming/online entry point: a context manager yielding a
+    :class:`StreamSession` that ingests records incrementally into a §4.3
+    :class:`~repro.core.buffer_tree.BufferTree` at amortized
+    ``O((1/B) log_{kM/B}(n/B))`` block I/O per record, with general deletions,
+    and drains to a sorted :class:`~repro.api.SortReport` on ``flush()`` /
+    ``close()``.
+
+The legacy module-level calls (``sort_external`` & co. in :mod:`repro.api`,
+``run_batch`` in :mod:`repro.planner.batch`) are thin backward-compatible
+shims over a throwaway engine instance.
+
+Uniform external-sort registry
+------------------------------
+:data:`EXTERNAL_SORTS` gives every §4 external sort one dispatch signature
+``run(machine, arr, k, guard)`` — the Lemma 4.2 selection sort (which has no
+branching factor) simply ignores ``k`` instead of being special-cased behind
+a ``None`` sentinel as the old ``api._EXTERNAL_SORTS`` table did.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable
+
+from .core.aem_heapsort import aem_heapsort
+from .core.aem_mergesort import aem_mergesort
+from .core.aem_samplesort import aem_samplesort
+from .core.buffer_tree import BufferTree
+from .core.ram_sort import RAM_SORTS
+from .core.selection_sort import selection_sort
+from .models.counters import CostCounter
+from .models.external_memory import AEMachine, ExtArray, MemoryGuard
+from .models.params import MachineParams
+
+
+# ---------------------------------------------------------------------- #
+# the uniform external-sort registry
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExternalSortSpec:
+    """One §4 external sort with a uniform dispatch signature.
+
+    ``run(machine, arr, k, guard)`` for every entry; ``takes_k`` records
+    whether the algorithm actually has a branching factor (it shapes the
+    report label and extras, not the call).
+    """
+
+    family: str
+    run: Callable[[AEMachine, ExtArray, int, MemoryGuard], ExtArray]
+    takes_k: bool = True
+
+    def label(self, k: int | None) -> str:
+        if not self.takes_k:
+            return f"aem-{self.family}"
+        return f"aem-{self.family}(k={k})"
+
+    def extras(self, k: int | None) -> dict:
+        return {"k": k} if self.takes_k else {}
+
+
+def _run_mergesort(machine, arr, k, guard):
+    return aem_mergesort(machine, arr, k, guard=guard)
+
+
+def _run_samplesort(machine, arr, k, guard):
+    return aem_samplesort(machine, arr, k, guard=guard)
+
+
+def _run_heapsort(machine, arr, k, guard):
+    return aem_heapsort(machine, arr, k, guard=guard)
+
+
+def _run_selection(machine, arr, k, guard):
+    # Lemma 4.2 has no branching factor; the uniform signature ignores k
+    return selection_sort(machine, arr, guard=guard)
+
+
+#: every §4 external sort, uniformly callable as ``run(machine, arr, k, guard)``
+EXTERNAL_SORTS: dict[str, ExternalSortSpec] = {
+    "mergesort": ExternalSortSpec("mergesort", _run_mergesort),
+    "samplesort": ExternalSortSpec("samplesort", _run_samplesort),
+    "heapsort": ExternalSortSpec("heapsort", _run_heapsort),
+    "selection": ExternalSortSpec("selection", _run_selection, takes_k=False),
+}
+
+
+# ---------------------------------------------------------------------- #
+# machine-independent report builders (shared by the engine and the shims)
+# ---------------------------------------------------------------------- #
+def external_sort_report(
+    data: Sequence,
+    params: MachineParams,
+    algorithm: str = "mergesort",
+    k: int | None = None,
+):
+    """Run one registry sort on a fresh AEM machine and report block costs."""
+    from .api import SortReport
+
+    spec = EXTERNAL_SORTS.get(algorithm)
+    if spec is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(EXTERNAL_SORTS)}"
+        )
+    if spec.takes_k and k is None:
+        from .analysis.ktuning import choose_k
+
+        k = choose_k(params, n=len(data))
+    machine = AEMachine(params)
+    arr = machine.from_list(data, name="input")
+    guard = MemoryGuard()
+    out = spec.run(machine, arr, k, guard)
+    return SortReport(
+        algorithm=spec.label(k),
+        n=len(data),
+        params=params,
+        output=out.peek_list(),
+        counter=machine.counter,
+        memory_high_water=guard.high_water,
+        extras=spec.extras(k),
+        family=spec.family,
+        granularity="block",
+    )
+
+
+def ram_sort_report(data: Sequence, algorithm: str = "bst-rb"):
+    """Sort in the Asymmetric RAM model (§3), element granularity."""
+    from .api import SortReport
+
+    if algorithm not in RAM_SORTS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(RAM_SORTS)}"
+        )
+    out, counter = RAM_SORTS[algorithm](data)
+    return SortReport(
+        algorithm=f"ram-{algorithm}",
+        n=len(data),
+        params=None,
+        output=out,
+        counter=counter,
+        family="ram",
+        granularity="element",
+    )
+
+
+def ram_on_machine_report(
+    data: Sequence, params: MachineParams, algorithm: str = "bst-rb"
+):
+    """The in-memory plan at AEM *block* granularity: one scan in
+    (``ceil(n/B)`` reads), any :data:`RAM_SORTS` sort for free in primary
+    memory, one stream out (``ceil(n/B)`` writes).
+
+    Raises ``ValueError`` when ``n > M`` — the input would not fit, exactly
+    as :func:`repro.planner.cost_model.predict_candidate` rejects the
+    ``ram`` plan for such an ``n``.
+    """
+    if len(data) > params.M:
+        raise ValueError(f"ram sort requires n <= M, got n={len(data)} > M={params.M}")
+    report = ram_sort_report(data, algorithm=algorithm)
+    report.params = params
+    blocks = math.ceil(len(data) / params.B)
+    report.counter.charge_block_read(blocks)
+    report.counter.charge_block_write(blocks)
+    report.granularity = "block"
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# the engine
+# ---------------------------------------------------------------------- #
+class SortEngine:
+    """Stateful session façade over the planner, the executors and the sorts.
+
+    Parameters
+    ----------
+    params:
+        The machine every call runs on (batch jobs may pin their own).
+    constants:
+        Optional calibrated :class:`CostConstants` used by every adaptive
+        ranking; :meth:`calibrate` fits and adopts a fresh set in place.
+    cache:
+        The shared :class:`PlanCache`; one is created when ``None``.  All
+        paths — one-shot, batch, streaming — consult this single cache.
+    executor / workers:
+        Default batch backend (``"thread"`` or ``"process"``) and pool
+        width, overridable per :meth:`batch` call.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        *,
+        constants=None,
+        cache=None,
+        executor: str = "thread",
+        workers: int | None = None,
+    ):
+        from .planner.plan_cache import PlanCache
+
+        if not isinstance(params, MachineParams):
+            raise TypeError(f"params must be MachineParams, got {type(params).__name__}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose 'thread' or 'process'"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {workers}")
+        self.params = params
+        self.constants = constants
+        self.cache = cache if cache is not None else PlanCache()
+        self.executor = executor
+        self.workers = workers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SortEngine({self.params}, executor={self.executor!r}, "
+            f"calibrated={self.constants is not None})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(self, n: int, algorithms: tuple[str, ...] | None = None, k_max: int | None = None):
+        """The memoised ranked :class:`SortPlan` for ``n`` records on the
+        engine's machine, under the engine's constants."""
+        return self.cache.plan(
+            n, self.params, algorithms=algorithms, k_max=k_max, constants=self.constants
+        )
+
+    # ------------------------------------------------------------------ #
+    # one-shot sorting
+    # ------------------------------------------------------------------ #
+    def sort(
+        self,
+        data: Sequence,
+        algorithm: str = "auto",
+        k: int | None = None,
+        algorithms: tuple[str, ...] | None = None,
+        ram_algorithm: str = "bst-rb",
+    ):
+        """Sort ``data`` on the engine's machine.
+
+        ``algorithm="auto"`` plans through the shared cache and executes the
+        minimum-predicted-cost candidate (the plan rides along in
+        ``extras["plan"]``); a registry name pins the external sort; ``"ram"``
+        pins the in-memory plan, executed with ``ram_algorithm`` (any
+        :data:`~repro.core.ram_sort.RAM_SORTS` entry) at block granularity.
+        """
+        if algorithm == "auto":
+            plan = self.plan(len(data), algorithms=algorithms)
+            chosen = plan.chosen
+            if chosen.model == "ram":
+                report = ram_on_machine_report(data, self.params, algorithm=ram_algorithm)
+            else:
+                report = external_sort_report(
+                    data, self.params, algorithm=chosen.algorithm, k=chosen.k
+                )
+            report.extras["plan"] = plan.as_dict()
+            return report
+        if algorithm == "ram":
+            return ram_on_machine_report(data, self.params, algorithm=ram_algorithm)
+        return external_sort_report(data, self.params, algorithm=algorithm, k=k)
+
+    # ------------------------------------------------------------------ #
+    # batch execution
+    # ------------------------------------------------------------------ #
+    def batch(
+        self,
+        jobs: Sequence,
+        *,
+        check_sorted: bool = False,
+        executor: str | None = None,
+        workers: int | None = None,
+    ):
+        """Execute many jobs through the engine's cache and constants.
+
+        ``jobs`` items are :class:`~repro.planner.batch.SortJob`\\ s (a bare
+        data sequence is wrapped into an adaptive job on the engine's
+        machine; a job with ``params=None`` inherits the engine's machine).
+        ``executor`` / ``workers`` default to the engine's configuration.
+        """
+        from dataclasses import replace
+
+        from .planner.batch import SortJob, execute_batch
+
+        normalized = []
+        for job in jobs:
+            if not isinstance(job, SortJob):
+                job = SortJob(data=job)
+            if job.params is None:
+                job = replace(job, params=self.params)
+            normalized.append(job)
+        return execute_batch(
+            normalized,
+            max_workers=workers if workers is not None else self.workers,
+            check_sorted=check_sorted,
+            executor=executor if executor is not None else self.executor,
+            plan_cache=self.cache,
+            constants=self.constants,
+        )
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    def calibrate(
+        self,
+        sizes: Sequence[int] | None = None,
+        algorithms: Sequence[str] | None = None,
+        scenario: str = "uniform",
+        seed: int = 0,
+        adopt: bool = True,
+    ):
+        """Measure the real sorts on the engine's machine, fit
+        :class:`CostConstants`, and (by default) adopt them for every
+        subsequent adaptive call.  Returns the fitted constants.
+
+        Adoption never stales the plan cache: constants are part of every
+        cache key, so rankings under the new constants are computed fresh.
+        """
+        from .planner.calibration import (
+            CALIBRATABLE_ALGORITHMS,
+            DEFAULT_SIZES,
+            calibrate,
+        )
+
+        constants = calibrate(
+            self.params,
+            sizes=tuple(sizes) if sizes is not None else DEFAULT_SIZES,
+            algorithms=tuple(algorithms) if algorithms is not None else CALIBRATABLE_ALGORITHMS,
+            scenario=scenario,
+            seed=seed,
+        )
+        if adopt:
+            self.constants = constants
+        return constants
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def stream(self, k: int | None = None) -> "StreamSession":
+        """Open a buffer-tree-backed :class:`StreamSession` on a fresh AEM
+        machine (usable directly or as a context manager).
+
+        ``k`` is the §4.3 extra branching factor; the default is the
+        Appendix-A ``n``-blind recipe (``n`` is unknown up front in a
+        stream), clamped to the tree's feasible range.
+        """
+        if k is None:
+            from .analysis.ktuning import choose_k
+
+            k = choose_k(self.params)
+            # the tree needs fanout kM/B >= 4; bump k on narrow machines
+            while self.params.fanout(k) < 4:
+                k += 1
+        return StreamSession(self, k=k)
+
+
+class StreamSession:
+    """Incremental ingestion into a §4.3 :class:`BufferTree`, draining to
+    sorted :class:`~repro.api.SortReport`\\ s.
+
+    Records are pushed (and deleted — §4.3.1 general deletions) one at a
+    time or in bulk; each record costs amortized
+    ``O((1/B)(1 + log_{kM/B}(n/B)))`` block writes and ``k`` times that in
+    reads (Theorem 4.10's buffer-tree terms).  ``flush()`` drains everything
+    currently held into a sorted report billed with the block I/O incurred
+    since the previous flush; ``close()`` performs a final flush and seals
+    the session (also called by ``with engine.stream() as s:``, after which
+    ``s.report`` holds the final report).
+
+    Duplicate keys are legal: following the paper's §2 remark that "a
+    position index can always be added to make keys unique", records enter
+    the tree as ``(key, seq)`` pairs and are unwrapped on drain, so equal
+    keys coexist and drain in arrival order.  ``delete(key)`` removes the
+    most recently pushed live instance of ``key`` (raising ``KeyError`` if
+    none is live); the per-key liveness index is in-memory session
+    bookkeeping, free under the model like the priority queue's
+    implicit-deletion pair list.
+    """
+
+    def __init__(self, engine: SortEngine, k: int = 1):
+        self.engine = engine
+        self.params = engine.params
+        self.k = k
+        self.machine = AEMachine(self.params)
+        self.tree = BufferTree(self.machine, k=k)
+        self.closed = False
+        #: total records pushed / deleted over the session's lifetime
+        self.pushed = 0
+        self.deleted = 0
+        #: reports of every flush, in order; ``report`` is the final one
+        self.reports: list = []
+        self.report = None
+        self._live: dict = {}  # key -> live seqs (most recent last)
+        self._reads_mark = 0
+        self._writes_mark = 0
+        self._ops_mark = 0  # pushes + deletes billed by earlier flushes
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # don't mask an in-flight exception with a drain of a half-built tree
+        if exc_type is None:
+            self.close()
+        else:
+            self.closed = True
+
+    def __len__(self) -> int:
+        return self.tree.size
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("stream session is closed")
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def push(self, record) -> None:
+        """Ingest one record (amortized buffer-tree insert)."""
+        self._require_open()
+        seq = self.tree.next_seq  # the tree's op counter doubles as the uid
+        self.tree.insert((record, seq))
+        self._live.setdefault(record, []).append(seq)
+        self.pushed += 1
+
+    def push_many(self, records: Iterable) -> None:
+        """Ingest records in bulk (one amortized insert each)."""
+        for rec in records:
+            self.push(rec)
+
+    def delete(self, key) -> None:
+        """Remove the most recently pushed live instance of ``key``.
+
+        Raises ``KeyError`` immediately when no instance is live (unlike raw
+        :meth:`BufferTree.delete`, which defers to application time — the
+        session's liveness index can afford to fail fast).
+        """
+        self._require_open()
+        seqs = self._live.get(key)
+        if not seqs:
+            raise KeyError(f"delete of absent key {key!r}")
+        seq = seqs.pop()
+        if not seqs:
+            del self._live[key]
+        self.tree.delete((key, seq))
+        self.deleted += 1
+
+    # ------------------------------------------------------------------ #
+    # draining
+    # ------------------------------------------------------------------ #
+    def flush(self):
+        """Drain every record currently held into a sorted
+        :class:`~repro.api.SortReport` and return it.
+
+        The report's counters carry the block I/O incurred since the
+        previous flush (ingestion + this drain), so its ``cost()`` is the
+        stream's actual bill; ``extras`` records the tree's structural
+        statistics and the Theorem 4.10 unit-constant prediction for every
+        operation billed here (pushes *and* deletes).  The session stays
+        open for further pushes.
+        """
+        self._require_open()
+        return self._drain()
+
+    def close(self):
+        """Final flush (any remaining records — possibly none) and seal the
+        session.  Returns the final report, also kept as ``self.report``."""
+        if self.closed:
+            return self.report
+        report = self._drain()
+        self.closed = True
+        return report
+
+    def _drain(self):
+        from .api import SortReport
+        from .planner.cost_model import predict_stream_io
+
+        # unwrap the (key, seq) uniquifying pairs (§2 position index)
+        out = [key for key, _seq in self.tree.drain_stream()]
+        self._live.clear()
+        counter = self.machine.counter
+        delta = CostCounter(
+            block_reads=counter.block_reads - self._reads_mark,
+            block_writes=counter.block_writes - self._writes_mark,
+        )
+        self._reads_mark = counter.block_reads
+        self._writes_mark = counter.block_writes
+        n = len(out)
+        # the prediction covers every operation billed in this flush —
+        # deletes are buffer-tree ops too, so a delete-heavy session is
+        # compared against the work it actually did, not just its survivors
+        ops = (self.pushed + self.deleted) - self._ops_mark
+        self._ops_mark = self.pushed + self.deleted
+        pred_reads, pred_writes = predict_stream_io(ops, self.params, self.k)
+        report = SortReport(
+            algorithm=f"stream-buffer-tree(k={self.k})",
+            n=n,
+            params=self.params,
+            output=out,
+            counter=delta,
+            extras={
+                "k": self.k,
+                "pushed": self.pushed,
+                "deleted": self.deleted,
+                **self.tree.io_stats(),
+                "predicted_reads": pred_reads,
+                "predicted_writes": pred_writes,
+            },
+            family="stream",
+            granularity="block",
+        )
+        self.reports.append(report)
+        self.report = report
+        return report

@@ -20,12 +20,13 @@ factors.  This subsystem turns those closed forms into an executable planner:
   partition jobs into per-process shards and merge the per-shard reports for
   real multi-core wall-clock scaling.
 
-The :func:`repro.api.sort_auto` façade and the ``python -m repro plan`` /
-``batch`` / ``calibrate`` CLI subcommands are thin wrappers over these
-modules.
+The :class:`repro.engine.SortEngine` session façade (and through it the
+legacy :func:`repro.api.sort_auto` / :func:`run_batch` shims and the
+``python -m repro plan`` / ``batch`` / ``calibrate`` / ``stream`` CLI
+subcommands) is a thin wrapper over these modules.
 """
 
-from .batch import BatchReport, JobFailure, SortJob, run_batch
+from .batch import BatchReport, JobFailure, SortJob, execute_batch, run_batch
 from .calibration import (
     CALIBRATABLE_ALGORITHMS,
     CalibrationSample,
@@ -62,6 +63,7 @@ __all__ = [
     "SortPlan",
     "calibrate",
     "compare_rankings",
+    "execute_batch",
     "fit_constants",
     "measure_samples",
     "merge_shard_reports",

@@ -52,10 +52,14 @@ class SortJob:
     Plain data all the way down (a list, a frozen
     :class:`~repro.models.params.MachineParams`, strings) so jobs pickle
     cleanly across the process-pool boundary.
+
+    ``params`` may be left ``None`` when the job runs through
+    :meth:`~repro.engine.SortEngine.batch`, which fills in the engine's
+    machine; the module-level :func:`run_batch` requires it.
     """
 
     data: Sequence
-    params: MachineParams
+    params: MachineParams | None = None
     label: str = ""
     #: ``None`` → let the planner choose; otherwise one of
     #: :data:`~repro.planner.cost_model.PLANNABLE_ALGORITHMS`
@@ -158,15 +162,21 @@ class BatchReport:
 
 
 def _execute_job(job: SortJob, cache: PlanCache | None = None, constants=None):
-    # local import: api imports this package (sort_auto → planner)
-    from ..api import ram_report_on_machine, sort_auto, sort_external
+    # local import: the engine imports this package (engine.batch → here)
+    from ..engine import SortEngine
 
+    if job.params is None:
+        raise ValueError(
+            f"job {job.label!r} has no machine params; run it through "
+            "SortEngine.batch (which fills in the engine's machine) or set "
+            "SortJob.params"
+        )
+    engine = SortEngine(job.params, constants=constants, cache=cache)
     if job.algorithm is None:
-        return sort_auto(job.data, job.params, constants=constants, cache=cache)
-    if job.algorithm == "ram":
-        # block-granularity report so batch aggregates stay in one currency
-        return ram_report_on_machine(job.data, job.params)
-    return sort_external(job.data, job.params, algorithm=job.algorithm, k=job.k)
+        return engine.sort(job.data, algorithm="auto")
+    # a pinned "ram" job reports at block granularity so batch aggregates
+    # stay in one currency
+    return engine.sort(job.data, algorithm=job.algorithm, k=job.k)
 
 
 def execute_and_check(
@@ -185,7 +195,7 @@ def execute_and_check(
     return rep
 
 
-def run_batch(
+def execute_batch(
     jobs: Sequence[SortJob],
     max_workers: int | None = None,
     check_sorted: bool = False,
@@ -193,7 +203,9 @@ def run_batch(
     plan_cache: PlanCache | None = None,
     constants=None,
 ) -> BatchReport:
-    """Execute ``jobs`` concurrently and aggregate their reports.
+    """Execute ``jobs`` concurrently and aggregate their reports — the
+    orchestration core behind :meth:`~repro.engine.SortEngine.batch` (and the
+    legacy :func:`run_batch` shim).
 
     Parameters
     ----------
@@ -251,3 +263,41 @@ def run_batch(
         report.plan_misses = cache.misses - misses0
     report.wall_seconds = time.perf_counter() - t0
     return report
+
+
+def run_batch(
+    jobs: Sequence[SortJob],
+    max_workers: int | None = None,
+    check_sorted: bool = False,
+    executor: str = "thread",
+    plan_cache: PlanCache | None = None,
+    constants=None,
+) -> BatchReport:
+    """Backward-compatible shim: build a throwaway
+    :class:`~repro.engine.SortEngine` and run ``jobs`` through
+    :meth:`~repro.engine.SortEngine.batch`.
+
+    Every job must carry its own ``params`` here (the engine default used to
+    fill in ``params=None`` jobs is taken from the first job's machine).
+    Prefer a long-lived engine when issuing many batches — it keeps one plan
+    cache and one set of calibrated constants across all of them.
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}; choose 'thread' or 'process'")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1 or None, got {max_workers}")
+    if not jobs:
+        return BatchReport(executor=executor)
+    from ..engine import SortEngine
+
+    anchor = next((job.params for job in jobs if job.params is not None), None)
+    if anchor is None:
+        raise ValueError("run_batch requires at least one job with machine params")
+    engine = SortEngine(
+        anchor,
+        constants=constants,
+        cache=plan_cache,
+        executor=executor,
+        workers=max_workers,
+    )
+    return engine.batch(jobs, check_sorted=check_sorted)

@@ -153,9 +153,10 @@ def measure_samples(
     ranking compares).  An algorithm that is infeasible on ``params``
     (degenerate merge fanout) is skipped rather than failing the sweep.
     """
-    from ..api import sort_external
+    from ..engine import SortEngine
     from ..workloads import calibration_suite
 
+    engine = SortEngine(params)  # one engine across the whole sweep
     samples: list[CalibrationSample] = []
     for n, data in calibration_suite(sizes, scenario=scenario, seed=seed):
         for algorithm in algorithms:
@@ -163,7 +164,7 @@ def measure_samples(
                 cand = predict_candidate(algorithm, n, params)
             except ValueError:
                 continue  # infeasible on this machine (e.g. M = B)
-            rep = sort_external(data, params, algorithm=algorithm, k=cand.k)
+            rep = engine.sort(data, algorithm=algorithm, k=cand.k)
             samples.append(
                 CalibrationSample(
                     family=rep.family,
@@ -253,16 +254,17 @@ def compare_rankings(
     The single source of truth for the ``calibrate`` CLI's agreement table
     and the CI benchmark's agreement assertion.
     """
-    from ..api import sort_external
+    from ..engine import SortEngine
     from ..workloads import make_scenario
 
     ranked = tuple(
         rank_plans(probe, params, algorithms=tuple(algorithms), constants=constants)
     )
+    engine = SortEngine(params)
     data = make_scenario(scenario, probe, seed=seed)
     measured = {}
     for cand in ranked:
-        rep = sort_external(data, params, algorithm=cand.algorithm, k=cand.k)
+        rep = engine.sort(data, algorithm=cand.algorithm, k=cand.k)
         measured[cand.algorithm] = rep.cost()
     return RankingComparison(
         ranked=ranked,

@@ -278,3 +278,22 @@ def plan_sort(
         params=params,
         ranked=tuple(rank_plans(n, params, algorithms, k_max, constants=constants)),
     )
+
+
+def predict_stream_io(n: int, params: MachineParams, k: int) -> tuple[float, float]:
+    """Predicted total ``(reads, writes)`` for a buffer-tree streaming
+    session: ``n`` ingested records followed by a full sorted drain.
+
+    Ingest + drain is ``2n`` buffer-tree operations, each at the Theorem
+    4.10 amortized per-operation bounds (unit leading constants), floored at
+    one scan each way — the same physical lower bound
+    :func:`predict_candidate` applies.  This is the closed form the
+    engine's :class:`~repro.engine.StreamSession` reports against and the
+    streaming benchmark asserts as an upper-bound shape.
+    """
+    if n <= 0:
+        return 0.0, 0.0
+    floor = float(math.ceil(n / params.B))
+    r = max(_heapsort_reads(n, params.M, params.B, k), floor)
+    w = max(_heapsort_writes(n, params.M, params.B, k), floor)
+    return r, w

@@ -95,6 +95,25 @@ class TestInsertAndDrain:
         tree.insert_many(data)
         assert tree.drain_sorted() == sorted(data)
 
+    def test_drain_stream_matches_and_charges_leaf_reads(self):
+        # the public streaming hook: sorted order, machine billed per leaf
+        tree, machine = make_tree(M=16, B=4, k=1)
+        data = random_permutation(800, seed=5)
+        tree.insert_many(data)
+        reads_before = machine.counter.block_reads
+        assert list(tree.drain_stream()) == sorted(data)
+        assert tree.size == 0
+        assert machine.counter.block_reads > reads_before
+
+    def test_io_stats_surface(self):
+        tree, _ = make_tree(M=16, B=4, k=1)
+        tree.insert_many(random_permutation(1500, seed=6))
+        stats = tree.io_stats()
+        assert set(stats) == {
+            "emptyings", "leaf_splits", "internal_splits", "annihilations"
+        }
+        assert stats["emptyings"] > 0
+
 
 class TestLeftmostLeafPop:
     def test_pop_returns_global_prefix(self):

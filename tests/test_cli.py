@@ -22,6 +22,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sort", "--algorithm", "bogosort"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.input == "-" and args.random is None and args.k is None
+
 
 class TestCommands:
     def test_experiments_quick_single(self, capsys):
@@ -110,3 +114,48 @@ class TestCommands:
     def test_calibrate_unknown_scenario(self, capsys):
         assert main(["calibrate", "--scenario", "chaos"]) == 2
         assert "unknown scenario" in capsys.readouterr().out
+
+    def test_sort_auto_through_engine(self, capsys):
+        assert main(["sort", "--n", "300", "--algorithm", "auto"]) == 0
+        assert "sort on" in capsys.readouterr().out
+
+    def test_stream_random(self, capsys):
+        assert main(["stream", "--random", "600", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming session" in out
+        assert "buffer-tree statistics" in out
+
+    def test_stream_from_file_with_deletes(self, capsys, tmp_path):
+        records = tmp_path / "records.txt"
+        records.write_text("5\n3\n# comment\ndel 3\n9\n1\n")
+        assert main(
+            ["stream", "--input", str(records), "--M", "16", "--B", "4", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streaming session" in out
+        assert "annihilations" in out
+
+    def test_stream_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("3\n1\n2\n"))
+        assert main(["stream", "--check"]) == 0
+        assert "streaming session" in capsys.readouterr().out
+
+    def test_stream_missing_input_file(self, capsys):
+        assert main(["stream", "--input", "/no/such/records.txt"]) == 2
+        assert "cannot read records" in capsys.readouterr().out
+
+    def test_stream_delete_of_absent_key(self, capsys, tmp_path):
+        records = tmp_path / "bad.txt"
+        records.write_text("1\ndel 9\n")
+        assert main(["stream", "--input", str(records)]) == 1
+        assert "bad record at line 2" in capsys.readouterr().out
+
+    def test_sort_ram_oversized_n_fails_cleanly(self, capsys):
+        assert main(["sort", "--algorithm", "ram", "--n", "10000"]) == 2
+        assert "cannot run this sort" in capsys.readouterr().out
+
+    def test_sort_ram_small_n(self, capsys):
+        assert main(["sort", "--algorithm", "ram", "--n", "50"]) == 0
+        assert "ram-bst-rb" in capsys.readouterr().out

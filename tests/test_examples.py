@@ -29,6 +29,7 @@ def test_examples_directory_contents():
         "event_queue",
         "cache_oblivious_pipeline",
         "reproduce_paper",
+        "streaming_ingest",
     } <= names
 
 
@@ -37,6 +38,15 @@ def test_quickstart(capsys):
     out = capsys.readouterr().out
     assert "External-memory sorts" in out
     assert "cheaper than classic" in out
+    assert "engine.sort chose" in out
+    assert "streamed 2000 records" in out
+
+
+def test_streaming_ingest(capsys):
+    load("streaming_ingest").main()
+    out = capsys.readouterr().out
+    assert "Streaming ingest vs one-shot sort" in out
+    assert "amortized block transfers per surviving record" in out
 
 
 def test_event_queue(capsys):
