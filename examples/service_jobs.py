@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Asynchronous sort jobs: submit now, collect when ready.
+
+Every blocking entry point makes the caller wait out the whole sort.  A
+request-serving deployment wants the opposite: hand the job to a persistent
+:class:`~repro.service.SortService`, get a :class:`SortFuture` back
+immediately, and let priorities decide who runs first when the pool is busy.
+
+The scenario: a nightly analytics backfill (bulk, low priority) is mid-queue
+when an interactive dashboard request arrives (high priority).  The
+dashboard job overtakes the backlog; one backfill job turns out to be
+malformed and fails alone; another gets cancelled before it ever runs —
+and none of that disturbs the rest.  Finally the same service answers over
+a TCP socket, the way ``python -m repro serve`` exposes it.
+
+Run:  python examples/service_jobs.py
+"""
+
+import random
+
+from repro import MachineParams, SortJob
+from repro.service import EngineServer, ServiceClient, SortService
+
+
+def main() -> None:
+    params = MachineParams(M=64, B=8, omega=8)
+    rng = random.Random(42)
+    print(f"SortService on {params}: submit/futures with priority dispatch\n")
+
+    with SortService(params, workers=2) as service:
+        # 1. a bulk backfill queues at low priority (higher value = later)
+        backfill = [
+            service.submit(
+                SortJob(
+                    data=rng.sample(range(1_000_000), 1_500),
+                    params=params,
+                    label=f"backfill/{i}",
+                ),
+                priority=10,
+            )
+            for i in range(6)
+        ]
+        # ... including one malformed job (unknown algorithm) ...
+        doomed = service.submit(
+            SortJob(data=[3, 1, 2], params=params, algorithm="bogosort",
+                    label="backfill/malformed"),
+            priority=10,
+        )
+        # ... and one that ops cancels before it is dispatched
+        cancelled = service.submit(
+            SortJob(data=rng.sample(range(1000), 500), params=params,
+                    label="backfill/cancelled"),
+            priority=10,
+        )
+        cancelled.cancel()
+
+        # 2. an interactive request arrives late but jumps the queue
+        dashboard = service.submit(
+            SortJob(data=rng.sample(range(10_000), 800), params=params,
+                    label="dashboard"),
+            priority=0,
+        )
+        dash_report = dashboard.result()
+        pending = sum(1 for f in backfill if not f.done())
+        print(
+            f"dashboard job sorted {dash_report.n} records "
+            f"({dash_report.algorithm}, cost {dash_report.cost():g}) while "
+            f"{pending} backfill jobs were still pending behind it"
+        )
+
+        # 3. futures surface each outcome independently
+        ok = sum(1 for f in backfill if f.result().is_sorted())
+        assert cancelled.cancelled()
+        failure = doomed.exception()
+        print(
+            f"backfill: {ok} sorted, 1 failed alone "
+            f"({type(failure).__name__}: {failure}), 1 cancelled before dispatch"
+        )
+        stats = service.stats()
+        print(
+            f"service stats: {stats['submitted']} submitted, "
+            f"{stats['completed']} completed, {stats['cancelled']} cancelled\n"
+        )
+
+        # 4. the same service, served over a socket (what `repro serve` runs)
+        with EngineServer(service).start() as server:
+            host, port = server.address
+            with ServiceClient(host, port, retries=20) as client:
+                data = rng.sample(range(100_000), 1_000)
+                ticket = client.submit(data, label="remote")
+                result = client.result(ticket)
+                assert result["output"] == sorted(data)
+                print(
+                    f"served over {host}:{port}: ticket {ticket} → "
+                    f"{result['n']} records via {result['algorithm']}, "
+                    f"cost {result['cost']:g}"
+                )
+
+
+if __name__ == "__main__":
+    main()

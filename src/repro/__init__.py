@@ -52,6 +52,13 @@ from .planner import (
     rank_plans,
     run_batch,
 )
+from .service import (
+    EngineServer,
+    ServiceClient,
+    SortFuture,
+    SortService,
+    WorkerDiedError,
+)
 
 __version__ = "1.0.0"
 
@@ -65,16 +72,21 @@ __all__ = [
     "CostCounter",
     "DepthTracker",
     "EXTERNAL_SORTS",
+    "EngineServer",
     "InstrumentedArray",
     "MachineParams",
     "MemoryGuard",
     "PlanCache",
+    "ServiceClient",
     "SimArray",
     "SortEngine",
+    "SortFuture",
     "SortJob",
     "SortPlan",
     "SortReport",
+    "SortService",
     "StreamSession",
+    "WorkerDiedError",
     "aem_heapsort",
     "aem_mergesort",
     "aem_samplesort",

@@ -30,9 +30,17 @@ Subcommands
     form ``del KEY`` delete a live key) or from ``--random N`` (a seeded
     random permutation).
 
-``sort`` / ``batch`` / ``calibrate`` / ``stream`` all route through one
-:class:`~repro.engine.SortEngine`, so a single plan cache and constants set
-serves every job of a command invocation.
+``serve [--host H] [--port P] [--workers W] [--executor thread|process]
+[--M M] [--B B] [--omega W] [--constants FILE]``
+    Run the persistent engine server: a :class:`~repro.service.SortService`
+    pool behind a newline-delimited-JSON line protocol on a local TCP
+    socket (``{"op": "submit", "data": [...]}`` in, ticket ids and sorted
+    results out — see :mod:`repro.service.server`).  ``--port 0`` binds an
+    ephemeral port and prints it.  Stop with Ctrl-C or the ``shutdown`` op.
+
+``sort`` / ``batch`` / ``calibrate`` / ``stream`` / ``serve`` all route
+through one :class:`~repro.engine.SortEngine`, so a single plan cache and
+constants set serves every job of a command invocation.
 """
 
 from __future__ import annotations
@@ -229,6 +237,47 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.save:
         constants.save(args.save)
         print(f"constants written to {args.save}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import EngineServer, SortService
+
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    engine = SortEngine(
+        params,
+        constants=_load_constants(args.constants),
+        executor=args.executor,
+        workers=args.workers,
+    )
+    service = SortService(engine)
+    try:
+        server = EngineServer(service, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}")
+        service.shutdown(drain=False)
+        return 2
+    host, port = server.address
+    print(
+        f"serving sort jobs on {host}:{port} "
+        f"[{params}, workers={service.workers}, executor={service.executor}] — "
+        "newline-delimited JSON, e.g. {\"op\": \"submit\", \"data\": [5, 3, 1]}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.close()
+        service.shutdown(drain=False)
+        engine.close()
+    stats = service.stats()
+    print(
+        f"server stopped: {stats['completed']} jobs completed, "
+        f"{stats['cancelled']} cancelled, {stats['respawns']} worker respawns",
+        flush=True,
+    )
     return 0
 
 
@@ -436,6 +485,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--check", action="store_true",
                           help="verify the drained output is sorted")
     p_stream.set_defaults(fn=_cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent engine server (sort jobs over a socket)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral, printed at startup)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker pool width (default: executor-dependent)")
+    p_serve.add_argument("--executor", default="thread",
+                         choices=["thread", "process"],
+                         help="thread: shared pool (GIL-bound); process: "
+                              "persistent worker processes for multi-core scaling")
+    p_serve.add_argument("--M", type=int, default=64)
+    p_serve.add_argument("--B", type=int, default=8)
+    p_serve.add_argument("--omega", type=int, default=8)
+    p_serve.add_argument("--constants", default=None, metavar="FILE",
+                         help="calibrated-constants JSON (from `calibrate --save`)")
+    p_serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -7,7 +7,9 @@ point is an engine instance — ``SortEngine(params).sort(...)`` /
 the shared plan cache and the calibrated constants once.  The module-level
 calls below are kept as thin backward-compatible shims over a throwaway
 engine (identical reports, no shared state between calls); the individual
-algorithm modules remain available for fine-grained control.
+algorithm modules remain available for fine-grained control.  For
+asynchronous submission (futures, priorities, the persistent job server),
+see :mod:`repro.service`.
 """
 
 from __future__ import annotations

@@ -23,7 +23,11 @@ Entry points
     (``mergesort`` / ``samplesort`` / ``heapsort`` / ``selection`` / ``ram``).
 ``engine.batch(jobs)``
     Concurrent execution of many jobs through the engine's shared plan cache
-    and constants (:class:`~repro.planner.batch.BatchReport`).
+    and constants (:class:`~repro.planner.batch.BatchReport`) — since the
+    service redesign, a thin ``submit_many`` + ``gather`` client of
+    ``engine.service()``, the persistent :class:`~repro.service.SortService`
+    pool the engine keeps alive across calls (shut down via
+    :meth:`SortEngine.close` or the engine's context manager).
 ``engine.calibrate()``
     Measure + fit :class:`CostConstants` on the engine's machine and adopt
     them for every subsequent ranking.
@@ -33,11 +37,14 @@ Entry points
     :class:`~repro.core.buffer_tree.BufferTree` at amortized
     ``O((1/B) log_{kM/B}(n/B))`` block I/O per record, with general deletions,
     and drains to a sorted :class:`~repro.api.SortReport` on ``flush()`` /
-    ``close()``.
+    ``close()`` — or partially via ``pop_min(m)`` (top-m extraction without
+    a full flush).
 
 The legacy module-level calls (``sort_external`` & co. in :mod:`repro.api`,
 ``run_batch`` in :mod:`repro.planner.batch`) are thin backward-compatible
-shims over a throwaway engine instance.
+shims over a throwaway engine instance.  The asynchronous
+submission surface (futures, priorities, the socket server) lives in
+:mod:`repro.service`.
 
 Uniform external-sort registry
 ------------------------------
@@ -241,6 +248,9 @@ class SortEngine:
         self.cache = cache if cache is not None else PlanCache()
         self.executor = executor
         self.workers = workers
+        # persistent SortService pools, keyed by (executor, workers) — the
+        # batch path reuses them across calls instead of rebuilding per run
+        self._services: dict = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -293,8 +303,42 @@ class SortEngine:
         return external_sort_report(data, self.params, algorithm=algorithm, k=k)
 
     # ------------------------------------------------------------------ #
-    # batch execution
+    # batch execution (a thin client of the job service)
     # ------------------------------------------------------------------ #
+    def service(
+        self,
+        executor: str | None = None,
+        workers: int | None = None,
+        warm_cache=None,
+    ):
+        """The engine's persistent :class:`~repro.service.SortService` for
+        the given pool shape (created on first use, then reused — workers
+        live across :meth:`batch` calls and direct submissions alike).
+
+        ``executor`` / ``workers`` default to the engine's configuration;
+        ``warm_cache`` pre-seeds planning when the pool is first built (use
+        :meth:`~repro.service.SortService.warm` to reheat a live pool).
+        """
+        from .service import SortService
+
+        executor = executor if executor is not None else self.executor
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose 'thread' or 'process'"
+            )
+        if workers is None:
+            workers = self.workers
+        key = (executor, workers)
+        svc = self._services.get(key)
+        if svc is None:
+            svc = SortService(
+                self, workers=workers, executor=executor, warm_cache=warm_cache
+            )
+            self._services[key] = svc
+        elif warm_cache is not None:
+            svc.warm(warm_cache)
+        return svc
+
     def batch(
         self,
         jobs: Sequence,
@@ -302,33 +346,69 @@ class SortEngine:
         check_sorted: bool = False,
         executor: str | None = None,
         workers: int | None = None,
+        warm_cache=None,
     ):
         """Execute many jobs through the engine's cache and constants.
+
+        Since the service redesign this is ``submit_many`` + ``gather`` on
+        the engine's persistent :meth:`service` pool — the call signature
+        and the :class:`~repro.planner.batch.BatchReport` it returns are
+        unchanged (parity-tested against the one-shot
+        :func:`~repro.planner.batch.execute_batch` reference), but the
+        worker pool now survives across calls.
 
         ``jobs`` items are :class:`~repro.planner.batch.SortJob`\\ s (a bare
         data sequence is wrapped into an adaptive job on the engine's
         machine; a job with ``params=None`` inherits the engine's machine).
-        ``executor`` / ``workers`` default to the engine's configuration.
+        ``executor`` / ``workers`` default to the engine's configuration;
+        ``warm_cache`` pre-seeds planning (per-worker in process mode) with
+        a parent cache's hot entries.
         """
-        from dataclasses import replace
+        import time as _time
 
-        from .planner.batch import SortJob, execute_batch
+        from .planner.batch import BatchReport
 
-        normalized = []
-        for job in jobs:
-            if not isinstance(job, SortJob):
-                job = SortJob(data=job)
-            if job.params is None:
-                job = replace(job, params=self.params)
-            normalized.append(job)
-        return execute_batch(
-            normalized,
-            max_workers=workers if workers is not None else self.workers,
-            check_sorted=check_sorted,
-            executor=executor if executor is not None else self.executor,
-            plan_cache=self.cache,
-            constants=self.constants,
+        executor = executor if executor is not None else self.executor
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; choose 'thread' or 'process'"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"max_workers must be >= 1 or None, got {workers}")
+        jobs = list(jobs)
+        if not jobs:
+            return BatchReport(executor=executor)
+        # workers=None maps to ONE shared default-width pool (keyed
+        # (executor, None)) rather than a pool per distinct batch size —
+        # otherwise batches of varying lengths would each leave a live pool
+        # behind on a long-lived engine
+        svc = self.service(executor=executor, workers=workers, warm_cache=warm_cache)
+        t0 = _time.perf_counter()
+        # round-robin pinning in process mode reproduces the historical
+        # shard deal exactly (per-worker caches see the same job streams)
+        futures = svc.submit_many(
+            jobs, check_sorted=check_sorted, round_robin=(executor == "process")
         )
+        report = svc.gather(futures)
+        report.wall_seconds = _time.perf_counter() - t0
+        return report
+
+    def close(self) -> None:
+        """Shut down the engine's persistent service pools (idempotent).
+
+        Queued-but-undispatched jobs are cancelled; in-flight jobs finish.
+        Worker threads/processes are daemons, so an unclosed engine cannot
+        hang interpreter exit — closing simply reclaims them earlier.
+        """
+        services, self._services = list(self._services.values()), {}
+        for svc in services:
+            svc.shutdown(drain=False, wait=True)
+
+    def __enter__(self) -> "SortEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # calibration
@@ -419,13 +499,15 @@ class StreamSession:
         #: total records pushed / deleted over the session's lifetime
         self.pushed = 0
         self.deleted = 0
-        #: reports of every flush, in order; ``report`` is the final one
+        #: reports of every drain (flushes and pop_mins), in order;
+        #: ``report`` is the most recent one
         self.reports: list = []
         self.report = None
         self._live: dict = {}  # key -> live seqs (most recent last)
         self._reads_mark = 0
         self._writes_mark = 0
-        self._ops_mark = 0  # pushes + deletes billed by earlier flushes
+        self._ops_mark = 0  # tree ops billed by earlier drains
+        self._reinserts = 0  # surplus records pop_min returned to the tree
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "StreamSession":
@@ -504,13 +586,70 @@ class StreamSession:
         self.closed = True
         return report
 
-    def _drain(self):
-        from .api import SortReport
-        from .planner.cost_model import predict_stream_io
+    # ------------------------------------------------------------------ #
+    # windowed/partial drains
+    # ------------------------------------------------------------------ #
+    def pop_min(self, m: int):
+        """Extract the ``m`` smallest records currently held — without a
+        full flush — and return a delta-billed
+        :class:`~repro.api.SortReport` of just those records.
 
+        Leaves are popped off the tree's left edge
+        (:meth:`BufferTree.pop_leftmost_leaf`, the §4.3.3 refill move) until
+        ``m`` records are in hand; the surplus from the last leaf is
+        re-inserted (amortized buffer-tree inserts — the re-insertion I/O is
+        billed to this report and counted in its prediction, so the bill
+        stays honest).  The session stays open: later pushes, deletes,
+        ``pop_min`` and ``flush`` calls all compose, and the delta-I/O
+        accounting is identical to :meth:`flush` — each report carries
+        exactly the block I/O incurred since the previous report.
+
+        Fewer than ``m`` records may be returned when the session holds
+        fewer; an empty session yields an empty report.
+        """
+        self._require_open()
+        if m < 1:
+            raise ValueError(f"pop_min needs m >= 1, got {m}")
+        taken: list = []
+        while len(taken) < m and self.tree.size > 0:
+            leaf = self.tree.pop_leftmost_leaf()
+            if leaf is None:
+                break
+            taken.extend(self.machine.scan(leaf))
+        surplus = taken[m:]
+        taken = taken[:m]
+        # the last leaf rarely lands exactly on m: everything beyond goes
+        # back into the tree as ordinary (key, seq) inserts, keeping their
+        # original sequence numbers so arrival order survives the round trip
+        for pair in surplus:
+            self.tree.insert(pair)
+        self._reinserts += len(surplus)
+        # the extracted records leave the session's liveness index
+        for key, seq in taken:
+            seqs = self._live.get(key)
+            if seqs is not None:
+                try:
+                    seqs.remove(seq)
+                except ValueError:  # pragma: no cover - index out of sync
+                    pass
+                if not seqs:
+                    del self._live[key]
+        out = [key for key, _seq in taken]
+        return self._delta_report(out, algorithm=f"stream-pop-min(k={self.k})")
+
+    def _drain(self):
         # unwrap the (key, seq) uniquifying pairs (§2 position index)
         out = [key for key, _seq in self.tree.drain_stream()]
         self._live.clear()
+        return self._delta_report(out, algorithm=f"stream-buffer-tree(k={self.k})")
+
+    def _delta_report(self, out: list, algorithm: str):
+        """Bill a drain (full flush or partial pop) with the block I/O
+        incurred since the previous report, stamp the Theorem 4.10
+        unit-constant prediction for the ops covered, and record it."""
+        from .api import SortReport
+        from .planner.cost_model import predict_stream_io
+
         counter = self.machine.counter
         delta = CostCounter(
             block_reads=counter.block_reads - self._reads_mark,
@@ -518,16 +657,17 @@ class StreamSession:
         )
         self._reads_mark = counter.block_reads
         self._writes_mark = counter.block_writes
-        n = len(out)
-        # the prediction covers every operation billed in this flush —
-        # deletes are buffer-tree ops too, so a delete-heavy session is
-        # compared against the work it actually did, not just its survivors
-        ops = (self.pushed + self.deleted) - self._ops_mark
-        self._ops_mark = self.pushed + self.deleted
+        # the prediction covers every operation billed in this report —
+        # deletes are buffer-tree ops too (a delete-heavy session is
+        # compared against the work it actually did, not just its
+        # survivors), and so are pop_min's surplus re-insertions
+        total_ops = self.pushed + self.deleted + self._reinserts
+        ops = total_ops - self._ops_mark
+        self._ops_mark = total_ops
         pred_reads, pred_writes = predict_stream_io(ops, self.params, self.k)
         report = SortReport(
-            algorithm=f"stream-buffer-tree(k={self.k})",
-            n=n,
+            algorithm=algorithm,
+            n=len(out),
             params=self.params,
             output=out,
             counter=delta,
@@ -535,6 +675,7 @@ class StreamSession:
                 "k": self.k,
                 "pushed": self.pushed,
                 "deleted": self.deleted,
+                "reinserted": self._reinserts,
                 **self.tree.io_stats(),
                 "predicted_reads": pred_reads,
                 "predicted_writes": pred_writes,

@@ -90,6 +90,10 @@ class BatchReport:
     #: process mode); pinned jobs never consult the cache
     plan_hits: int = 0
     plan_misses: int = 0
+    #: per-shard (hits, misses) pairs in shard order — populated by the
+    #: process executor (each shard/worker owns its cache), empty in thread
+    #: mode where one shared cache already tells the whole story
+    shard_plan_stats: list = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @property
@@ -141,6 +145,11 @@ class BatchReport:
             "executor": self.executor,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
+            "plan_per_shard": (
+                ",".join(f"{h}/{m}" for h, m in self.shard_plan_stats)
+                if self.shard_plan_stats
+                else "-"
+            ),
         }
 
     def mix_rows(self) -> list[dict]:
@@ -202,10 +211,15 @@ def execute_batch(
     executor: str = "thread",
     plan_cache: PlanCache | None = None,
     constants=None,
+    warm_cache=None,
 ) -> BatchReport:
     """Execute ``jobs`` concurrently and aggregate their reports — the
-    orchestration core behind :meth:`~repro.engine.SortEngine.batch` (and the
-    legacy :func:`run_batch` shim).
+    one-shot orchestration core.
+
+    Since the :class:`repro.service.SortService` redesign this is the
+    *reference* batch path: :meth:`~repro.engine.SortEngine.batch` (and the
+    legacy :func:`run_batch` shim) now submit through a persistent service
+    pool and are parity-tested against the reports this function produces.
 
     Parameters
     ----------
@@ -228,6 +242,11 @@ def execute_batch(
         Optional :class:`~repro.planner.calibration.CostConstants` so
         adaptive jobs rank with calibrated rather than unit leading
         constants.
+    warm_cache:
+        A :class:`PlanCache` (or its :meth:`~PlanCache.snapshot` entries) to
+        pre-seed planning with: thread mode seeds the shared cache, process
+        mode seeds every shard's local cache so shards start with the
+        parent's hot entries instead of cold-ranking per shard.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}; choose 'thread' or 'process'")
@@ -235,16 +254,24 @@ def execute_batch(
         raise ValueError(f"max_workers must be >= 1 or None, got {max_workers}")
     if not jobs:
         return BatchReport(executor=executor)
+    if isinstance(warm_cache, PlanCache):
+        warm_cache = warm_cache.snapshot()
     t0 = time.perf_counter()
     if executor == "process":
         from .sharding import run_sharded
 
         report = run_sharded(
-            jobs, num_shards=max_workers, check_sorted=check_sorted, constants=constants
+            jobs,
+            num_shards=max_workers,
+            check_sorted=check_sorted,
+            constants=constants,
+            warm_entries=warm_cache,
         )
     else:
         report = BatchReport(executor="thread")
         cache = plan_cache if plan_cache is not None else PlanCache()
+        if warm_cache:
+            cache.seed(warm_cache)
         # delta stats: a caller-supplied cache may be warm from earlier batches
         hits0, misses0 = cache.hits, cache.misses
         if max_workers is None:
@@ -272,15 +299,21 @@ def run_batch(
     executor: str = "thread",
     plan_cache: PlanCache | None = None,
     constants=None,
+    warm_cache=None,
 ) -> BatchReport:
     """Backward-compatible shim: build a throwaway
     :class:`~repro.engine.SortEngine` and run ``jobs`` through
-    :meth:`~repro.engine.SortEngine.batch`.
+    :meth:`~repro.engine.SortEngine.batch` (which submits through a
+    :class:`~repro.service.SortService` pool and gathers the futures).
 
     Every job must carry its own ``params`` here (the engine default used to
     fill in ``params=None`` jobs is taken from the first job's machine).
-    Prefer a long-lived engine when issuing many batches — it keeps one plan
-    cache and one set of calibrated constants across all of them.
+    ``warm_cache`` pre-seeds the batch's planning (per-shard in process
+    mode) with a parent cache's hot entries.  Prefer a long-lived engine —
+    or a :class:`~repro.service.SortService` directly — when issuing many
+    batches: both keep the worker pool, one plan cache and one set of
+    calibrated constants alive across all of them, where this shim tears
+    everything down per call.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}; choose 'thread' or 'process'")
@@ -300,4 +333,7 @@ def run_batch(
         executor=executor,
         workers=max_workers,
     )
-    return engine.batch(jobs, check_sorted=check_sorted)
+    try:
+        return engine.batch(jobs, check_sorted=check_sorted, warm_cache=warm_cache)
+    finally:
+        engine.close()

@@ -69,6 +69,22 @@ class PlanCache:
         constants: "CostConstants | None" = None,
     ) -> SortPlan:
         """The memoised :func:`plan_sort` — identical result, counted access."""
+        return self.planned(n, params, algorithms, k_max, constants)[0]
+
+    def planned(
+        self,
+        n: int,
+        params: MachineParams,
+        algorithms: tuple[str, ...] | None = None,
+        k_max: int | None = None,
+        constants: "CostConstants | None" = None,
+    ) -> tuple[SortPlan, bool]:
+        """:meth:`plan` plus whether this access was a cache hit.
+
+        The per-worker accounting in :mod:`repro.service` attributes each
+        access to the job that made it, which needs the hit/miss outcome of
+        the individual call rather than the cache-wide totals.
+        """
         key = self.make_key(n, params, algorithms, k_max, constants)
         # compute under the lock: planning is a few closed-form evaluations
         # (microseconds), far cheaper than the sorts it routes, and holding
@@ -79,13 +95,48 @@ class PlanCache:
             if cached is not None:
                 self.hits += 1
                 self._plans.move_to_end(key)
-                return cached
+                return cached, True
             plan = plan_sort(n, params, algorithms=algorithms, k_max=k_max, constants=constants)
             self.misses += 1
             self._plans[key] = plan
             if self.maxsize is not None and len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
-        return plan
+        return plan, False
+
+    # ------------------------------------------------------------------ #
+    # cross-process warm start
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> list[tuple]:
+        """The cache's ``(key, plan)`` entries in LRU order (coldest first).
+
+        Plans are frozen dataclasses and keys are plain tuples, so a snapshot
+        pickles cleanly across the process boundary — :func:`seed` on the far
+        side rebuilds the hot state without re-ranking anything.
+        """
+        with self._lock:
+            return list(self._plans.items())
+
+    def seed(self, entries) -> int:
+        """Install pre-computed ``(key, plan)`` entries (or copy another
+        :class:`PlanCache`) without touching the hit/miss counters.
+
+        Seeding is how process shards start warm: the parent snapshots its
+        hot cache and each worker seeds a fresh one before its first job.
+        Later entries win the LRU position; ``maxsize`` is respected.
+        Returns the number of *new* keys installed.
+        """
+        if isinstance(entries, PlanCache):
+            entries = entries.snapshot()
+        installed = 0
+        with self._lock:
+            for key, plan in entries:
+                if key not in self._plans:
+                    installed += 1
+                self._plans[key] = plan
+                self._plans.move_to_end(key)
+                if self.maxsize is not None and len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+        return installed
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

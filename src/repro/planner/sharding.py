@@ -22,10 +22,26 @@ pickle.  :class:`~repro.planner.batch.SortJob` is plain data by design;
 captured exceptions are re-pickled defensively (an exception type with a
 non-trivial constructor is replaced by a ``RuntimeError`` carrying its repr,
 rather than poisoning the whole shard's result).
+
+Persistent workers
+------------------
+:class:`repro.service.SortService` needs workers that *outlive* one batch
+(the whole point of a submission API is not rebuilding the pool per call),
+so this module also provides the persistent-pool primitives:
+:func:`spawn_persistent_worker` forks a long-lived worker process speaking a
+simple request/response protocol over a pipe (one in-flight job per worker),
+and :func:`persistent_worker_loop` is its body — a shard whose job list
+arrives one message at a time instead of up front.  Each worker owns a
+worker-local :class:`PlanCache` (seedable from a parent snapshot) exactly
+like a one-shot shard.  A worker that dies mid-job surfaces to the parent as
+a broken pipe; the service fails that job with :class:`WorkerDiedError` and
+respawns the worker (failure isolation identical in spirit to the one-shot
+path's lost-shard handling below).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 from collections.abc import Sequence
@@ -34,6 +50,14 @@ from dataclasses import dataclass, field
 
 from .batch import BatchReport, JobFailure, SortJob, execute_and_check
 from .plan_cache import PlanCache
+
+
+class WorkerDiedError(RuntimeError):
+    """A persistent pool worker process died while a job was in flight.
+
+    Only the in-flight job fails with this; the pool respawns the worker and
+    subsequent submissions run normally.
+    """
 
 
 @dataclass
@@ -76,10 +100,18 @@ def execute_shard(
     shard: list[tuple[int, SortJob]],
     check_sorted: bool = False,
     constants=None,
+    warm_entries=None,
 ) -> ShardResult:
     """Run one shard sequentially (this *is* the unit of parallelism) with a
-    shard-local plan cache; mirror of the thread executor's per-job semantics."""
+    shard-local plan cache; mirror of the thread executor's per-job semantics.
+
+    ``warm_entries`` (a :meth:`PlanCache.snapshot`) pre-seeds the shard-local
+    cache so repeated job shapes hit immediately instead of re-ranking once
+    per shard.
+    """
     cache = PlanCache()
+    if warm_entries:
+        cache.seed(warm_entries)
     result = ShardResult()
     for index, job in shard:
         try:
@@ -107,6 +139,7 @@ def merge_shard_reports(results: Sequence[ShardResult]) -> BatchReport:
         merged.failures.extend(res.report.failures)
         merged.plan_hits += res.report.plan_hits
         merged.plan_misses += res.report.plan_misses
+        merged.shard_plan_stats.append((res.report.plan_hits, res.report.plan_misses))
     tagged.sort(key=lambda pair: pair[0])
     merged.reports = [rep for _, rep in tagged]
     merged.failures.sort(key=lambda f: f.index)
@@ -118,11 +151,14 @@ def run_sharded(
     num_shards: int | None = None,
     check_sorted: bool = False,
     constants=None,
+    warm_entries=None,
 ) -> BatchReport:
     """Partition → one worker process per shard → merged :class:`BatchReport`.
 
     ``num_shards`` defaults to :func:`default_shard_count`.  A single shard
     short-circuits the pool entirely (no point forking to serialise).
+    ``warm_entries`` pre-seeds every shard's plan cache with the parent's
+    hot entries (:meth:`PlanCache.snapshot`).
     """
     if not jobs:
         return BatchReport(executor="process")
@@ -131,11 +167,13 @@ def run_sharded(
     num_shards = max(1, min(num_shards, len(jobs)))
     shards = partition_jobs(jobs, num_shards)
     if len(shards) == 1:
-        return merge_shard_reports([execute_shard(shards[0], check_sorted, constants)])
+        return merge_shard_reports(
+            [execute_shard(shards[0], check_sorted, constants, warm_entries)]
+        )
     results = []
     with ProcessPoolExecutor(max_workers=len(shards)) as pool:
         futures = [
-            pool.submit(execute_shard, shard, check_sorted, constants)
+            pool.submit(execute_shard, shard, check_sorted, constants, warm_entries)
             for shard in shards
         ]
         for shard, fut in zip(shards, futures):
@@ -160,3 +198,83 @@ def run_sharded(
                 )
                 results.append(lost)
     return merge_shard_reports(results)
+
+
+# ---------------------------------------------------------------------- #
+# persistent workers (the SortService pool)
+# ---------------------------------------------------------------------- #
+def persistent_worker_loop(conn, constants=None, warm_entries=None) -> None:
+    """Body of one long-lived worker process: a shard fed one message at a
+    time.
+
+    Protocol (lockstep request/response over ``conn``):
+
+    * ``("job", index, job, check_sorted)`` → ``("ok", report, dh, dm)`` or
+      ``("err", picklable_exception, dh, dm)`` where ``dh``/``dm`` are this
+      job's plan-cache hit/miss deltas;
+    * ``("seed", entries)`` → ``("seeded", installed, 0, 0)`` — install a
+      parent :meth:`PlanCache.snapshot` into the worker-local cache;
+    * ``("stop",)`` or ``None`` → exit.
+
+    The worker-local cache persists across jobs — that is the point of a
+    persistent pool: repeated job shapes stop paying the ranking after the
+    first submission, without any cross-process shared state.
+    """
+    cache = PlanCache()
+    if warm_entries:
+        cache.seed(warm_entries)
+    while True:
+        msg = conn.recv()
+        if msg is None or msg[0] == "stop":
+            break
+        if msg[0] == "seed":
+            conn.send(("seeded", cache.seed(msg[1]), 0, 0))
+            continue
+        _kind, index, job, check_sorted = msg
+        hits0, misses0 = cache.hits, cache.misses
+        try:
+            rep = execute_and_check(
+                index, job, cache=cache, constants=constants, check_sorted=check_sorted
+            )
+            reply = ("ok", rep, cache.hits - hits0, cache.misses - misses0)
+        except Exception as exc:  # noqa: BLE001 — captured per job by design
+            reply = (
+                "err",
+                _picklable_error(exc),
+                cache.hits - hits0,
+                cache.misses - misses0,
+            )
+        conn.send(reply)
+    conn.close()
+
+
+def spawn_persistent_worker(constants=None, warm_entries=None):
+    """Fork one persistent worker; returns ``(process, parent_conn)``.
+
+    The process is a daemon (it must never outlive the service that owns
+    it); exactly one job is in flight per worker, so the pipe needs no
+    framing beyond the lockstep protocol.
+    """
+    parent_conn, child_conn = multiprocessing.Pipe()
+    proc = multiprocessing.Process(
+        target=persistent_worker_loop,
+        args=(child_conn, constants, warm_entries),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
+
+
+def stop_persistent_worker(proc, conn, timeout: float = 5.0) -> None:
+    """Best-effort orderly stop: send the stop message, join, then escalate
+    to terminate if the worker does not exit (e.g. wedged mid-job)."""
+    try:
+        conn.send(("stop",))
+    except (OSError, BrokenPipeError):
+        pass  # already dead — nothing to stop
+    proc.join(timeout)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout)
+    conn.close()

@@ -1,0 +1,42 @@
+"""Asynchronous sort-job service: submit/futures, priority dispatch, serving.
+
+The execution surface up through the :class:`~repro.engine.SortEngine`
+redesign was synchronous — every entry point blocked its caller until the
+sort finished.  This subsystem adds the submission-oriented surface a
+persistent, heavily-trafficked deployment needs:
+
+* :mod:`~repro.service.futures` — :class:`SortFuture` result handles with
+  result / exception / cancel / done-callback semantics;
+* :mod:`~repro.service.scheduler` — :class:`SortService`, the
+  priority-queue dispatcher over a **persistent** worker pool (thread or
+  long-lived worker processes that survive across submissions, with
+  worker-death isolation and respawn);
+* :mod:`~repro.service.server` — ``python -m repro serve``: the
+  newline-delimited-JSON line protocol over a local socket, plus
+  :class:`ServiceClient` for Python callers.
+
+``engine.batch()`` and the legacy ``run_batch`` shim are thin clients of
+this layer (``submit_many`` + ``gather``), parity-tested against the
+one-shot :func:`~repro.planner.batch.execute_batch` reference.
+"""
+
+from ..planner.sharding import WorkerDiedError
+from .futures import CANCELLED, FINISHED, PENDING, RUNNING, SortFuture, wait
+from .scheduler import PRIORITY_CONTROL, SortService, default_pool_width
+from .server import EngineServer, ServiceClient, ServiceError
+
+__all__ = [
+    "CANCELLED",
+    "EngineServer",
+    "FINISHED",
+    "PENDING",
+    "PRIORITY_CONTROL",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceError",
+    "SortFuture",
+    "SortService",
+    "WorkerDiedError",
+    "default_pool_width",
+    "wait",
+]

@@ -1,0 +1,389 @@
+"""The persistent engine server: sort jobs over a local socket.
+
+``python -m repro serve`` turns a :class:`~repro.service.SortService` into a
+long-running process other programs talk to — the ROADMAP's "accept jobs
+over a socket/queue" item.  The protocol is deliberately primitive so any
+language (or ``nc``) can speak it:
+
+* one TCP connection per client, **newline-delimited JSON** both ways;
+* every request is one object with an ``"op"`` field; every response is one
+  object with ``"ok": true/false``;
+* ``submit`` returns a **ticket id** immediately; ``result`` blocks (the
+  server runs one handler thread per connection, so only that client
+  waits) and *consumes* the ticket on a terminal reply unless ``"keep":
+  true`` — the registry stays bounded by the in-flight work, not by
+  history; ``cancel`` / ``status`` / ``stats`` / ``ping`` / ``shutdown``
+  round out the surface.
+
+Request → response examples::
+
+    {"op": "submit", "data": [5, 3, 1], "priority": 0}
+        → {"ok": true, "ticket": 0}
+    {"op": "result", "ticket": 0}
+        → {"ok": true, "ticket": 0, "n": 3, "output": [1, 3, 5],
+           "algorithm": "...", "family": "...", "reads": 2, "writes": 2,
+           "cost": 18.0}
+    {"op": "cancel", "ticket": 7}   → {"ok": true, "cancelled": true}
+    {"op": "status", "ticket": 7}   → {"ok": true, "state": "PENDING"}
+    {"op": "stats"}                 → {"ok": true, "stats": {...}}
+    {"op": "shutdown"}              → {"ok": true, "stopping": true}
+
+:class:`ServiceClient` wraps the socket plumbing for Python callers (tests,
+examples, the CI smoke): ``submit`` / ``result`` / ``sort`` /
+``submit_many`` / ``gather`` and a ``retries`` knob that polls until the
+server is up.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from concurrent.futures import CancelledError
+
+from ..planner.batch import SortJob
+from .futures import SortFuture
+from .scheduler import SortService
+
+
+class ServiceError(RuntimeError):
+    """A server-side failure reported over the wire (``ok: false``)."""
+
+    def __init__(self, message: str, reply: dict | None = None):
+        super().__init__(message)
+        self.reply = reply or {}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection; requests are processed in arrival order
+    on that connection (blocking ``result`` calls only stall their own
+    client)."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                reply = {"ok": False, "error": f"invalid request: {exc}"}
+            else:
+                reply = self.server.engine_server.dispatch(request)
+            try:
+                self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (OSError, BrokenPipeError):
+                return  # client went away mid-reply
+            if reply.get("stopping"):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    engine_server: "EngineServer"
+
+
+class EngineServer:
+    """Line-protocol façade over one :class:`SortService`.
+
+    ``port=0`` binds an OS-assigned ephemeral port; read the real address
+    from :attr:`address`.  ``start()`` serves in a background thread (for
+    tests / embedding); :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(self, service: SortService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.engine_server = self
+        self._tickets: dict[int, SortFuture] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "EngineServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True, name="sort-serve"
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop the listener (idempotent).  The service is left to its
+        owner — the CLI shuts it down, embedded users may keep it."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+    # ------------------------------------------------------------------ #
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(request)
+        except ServiceError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _job_from(self, spec: dict) -> tuple[SortJob, float, bool]:
+        data = spec.get("data")
+        if not isinstance(data, list):
+            raise ServiceError("submit needs 'data': a JSON array of records")
+        job = SortJob(
+            data=data,
+            label=str(spec.get("label", "")),
+            algorithm=spec.get("algorithm"),
+            k=spec.get("k"),
+        )
+        return job, spec.get("priority", 0), bool(spec.get("check_sorted", False))
+
+    def _register(self, future: SortFuture) -> int:
+        with self._lock:
+            self._tickets[future.ticket] = future
+        return future.ticket
+
+    def _lookup(self, request: dict) -> SortFuture:
+        ticket = request.get("ticket")
+        with self._lock:
+            future = self._tickets.get(ticket)
+        if future is None:
+            raise ServiceError(f"unknown ticket {ticket!r}")
+        return future
+
+    # ---- ops --------------------------------------------------------- #
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _op_submit(self, request: dict) -> dict:
+        job, priority, check_sorted = self._job_from(request)
+        future = self.service.submit(job, priority, check_sorted=check_sorted)
+        return {"ok": True, "ticket": self._register(future)}
+
+    def _op_submit_many(self, request: dict) -> dict:
+        specs = request.get("jobs")
+        if not isinstance(specs, list):
+            raise ServiceError("submit_many needs 'jobs': an array of job objects")
+        tickets = []
+        for spec in specs:
+            job, priority, check_sorted = self._job_from(spec)
+            future = self.service.submit(job, priority, check_sorted=check_sorted)
+            tickets.append(self._register(future))
+        return {"ok": True, "tickets": tickets}
+
+    def _evict(self, ticket, keep: bool) -> None:
+        """Drop a consumed ticket unless the client asked to keep it.
+
+        Retained futures hold the job's input *and* its sorted output; a
+        long-running server that never evicted would grow without bound, so
+        a terminal ``result`` reply consumes the ticket by default
+        (``"keep": true`` opts into re-reading it later)."""
+        if keep:
+            return
+        with self._lock:
+            self._tickets.pop(ticket, None)
+
+    def _op_result(self, request: dict) -> dict:
+        future = self._lookup(request)
+        timeout = request.get("timeout")
+        keep = bool(request.get("keep", False))
+        try:
+            rep = future.result(timeout)
+        except TimeoutError:  # not terminal: the ticket stays retrievable
+            return {"ok": False, "error": "timeout", "pending": True,
+                    "state": future.state}
+        except CancelledError:
+            self._evict(future.ticket, keep)
+            return {"ok": False, "error": "cancelled", "cancelled": True}
+        except Exception as exc:  # noqa: BLE001 — job failures travel as replies
+            self._evict(future.ticket, keep)
+            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        self._evict(future.ticket, keep)
+        return {
+            "ok": True,
+            "ticket": future.ticket,
+            "n": rep.n,
+            "algorithm": rep.algorithm,
+            "family": rep.family,
+            "output": rep.output,
+            "reads": rep.reads,
+            "writes": rep.writes,
+            "cost": rep.cost(),
+        }
+
+    def _op_status(self, request: dict) -> dict:
+        return {"ok": True, "state": self._lookup(request).state}
+
+    def _op_cancel(self, request: dict) -> dict:
+        return {"ok": True, "cancelled": self._lookup(request).cancel()}
+
+    def _op_stats(self, request: dict) -> dict:
+        with self._lock:
+            tickets = len(self._tickets)
+        return {"ok": True, "stats": {**self.service.stats(), "tickets": tickets}}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # stop the listener from a helper thread: shutdown() blocks until
+        # serve_forever exits, which must not happen on a handler thread
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+        return {"ok": True, "stopping": True}
+
+
+class ServiceClient:
+    """Python-side speaker of the serve line protocol.
+
+    One TCP connection, blocking request/response.  ``retries`` polls the
+    connect until the server is listening (handy right after launching
+    ``python -m repro serve`` in the background).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        retries: int = 0,
+        retry_delay: float = 0.1,
+        timeout: float | None = None,
+    ):
+        last_error: Exception | None = None
+        for _ in range(max(1, retries + 1)):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last_error = exc
+                time.sleep(retry_delay)
+        else:
+            raise ConnectionError(
+                f"cannot reach sort server at {host}:{port}: {last_error}"
+            )
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def request(self, payload: dict) -> dict:
+        """Send one raw request object; return the raw reply object."""
+        line = json.dumps(payload) + "\n"
+        with self._lock:
+            self._sock.sendall(line.encode("utf-8"))
+            reply = self._rfile.readline()
+        if not reply:
+            raise ConnectionError("server closed the connection")
+        return json.loads(reply)
+
+    def _checked(self, payload: dict) -> dict:
+        reply = self.request(payload)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "request failed"), reply)
+        return reply
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        data,
+        priority: float = 0,
+        *,
+        algorithm: str | None = None,
+        k: int | None = None,
+        label: str = "",
+        check_sorted: bool = False,
+    ) -> int:
+        """Submit one job; return its ticket id."""
+        return self._checked(
+            {
+                "op": "submit",
+                "data": list(data),
+                "priority": priority,
+                "algorithm": algorithm,
+                "k": k,
+                "label": label,
+                "check_sorted": check_sorted,
+            }
+        )["ticket"]
+
+    def submit_many(self, datasets, priority: float = 0) -> list[int]:
+        return self._checked(
+            {
+                "op": "submit_many",
+                "jobs": [{"data": list(d), "priority": priority} for d in datasets],
+            }
+        )["tickets"]
+
+    def result(
+        self, ticket: int, timeout: float | None = None, *, keep: bool = False
+    ) -> dict:
+        """Block until the job finishes; return the result record
+        (``output``, ``algorithm``, ``reads``, ``writes``, ``cost`` …).
+        Raises :class:`ServiceError` on job failure / cancellation /
+        timeout.
+
+        A terminal reply *consumes* the ticket server-side (re-asking
+        reports it unknown) so the server's memory stays bounded; pass
+        ``keep=True`` to leave it retrievable again."""
+        payload: dict = {"op": "result", "ticket": ticket}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if keep:
+            payload["keep"] = True
+        return self._checked(payload)
+
+    def gather(self, tickets, timeout: float | None = None) -> list[dict]:
+        return [self.result(t, timeout) for t in tickets]
+
+    def sort(self, data, **kwargs) -> list:
+        """Synchronous convenience: submit + result → the sorted records."""
+        return self.result(self.submit(data, **kwargs))["output"]
+
+    def status(self, ticket: int) -> str:
+        return self._checked({"op": "status", "ticket": ticket})["state"]
+
+    def cancel(self, ticket: int) -> bool:
+        return bool(self._checked({"op": "cancel", "ticket": ticket})["cancelled"])
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop listening (in-flight work still drains
+        server-side)."""
+        self._checked({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

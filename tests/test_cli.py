@@ -159,3 +159,53 @@ class TestCommands:
     def test_sort_ram_small_n(self, capsys):
         assert main(["sort", "--algorithm", "ram", "--n", "50"]) == 0
         assert "ram-bst-rb" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.executor == "thread" and args.workers is None
+
+    def test_serve_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "gpu"])
+
+    def test_serve_end_to_end_subprocess(self):
+        # the real CLI path: spawn `python -m repro serve`, scrape the
+        # ephemeral port from the banner, round-trip a job, stop via the
+        # shutdown op
+        import os
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"serving sort jobs on ([\d.]+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+
+            from repro.service import ServiceClient
+
+            with ServiceClient(host, port, retries=50) as client:
+                assert client.sort([5, 3, 9, 1]) == [1, 3, 5, 9]
+                client.shutdown_server()
+            assert proc.wait(timeout=30) == 0
+            rest = proc.stdout.read()
+            assert "server stopped" in rest and "1 jobs completed" in rest
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

@@ -422,3 +422,112 @@ class TestStreamCostBounds:
             costs[k] = s.report.writes
         # larger fanout -> fewer emptying levels -> fewer block writes
         assert costs[4] < costs[1]
+
+
+class TestStreamPopMin:
+    """Windowed/partial drains: top-m extraction without a full flush."""
+
+    def test_pop_min_returns_the_m_smallest_in_order(self):
+        engine = SortEngine(PARAMS)
+        data = random_permutation(500, seed=21)
+        with engine.stream() as s:
+            s.push_many(data)
+            top = s.pop_min(10)
+            assert top.output == list(range(10))
+            assert top.n == 10 and top.family == "stream"
+            assert top.algorithm.startswith("stream-pop-min")
+
+    def test_successive_pops_continue_the_order(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many(random_permutation(400, seed=22))
+            assert s.pop_min(7).output == list(range(7))
+            assert s.pop_min(5).output == list(range(7, 12))
+            rest = s.flush()
+            assert rest.output == list(range(12, 400))
+
+    def test_pop_then_push_then_flush_composes(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many(random_permutation(300, seed=23))
+            s.pop_min(50)
+            # pushing keys below the popped window is legal — they simply
+            # belong to the next drain
+            s.push(-1)
+            rest = s.flush()
+            assert rest.output == [-1] + list(range(50, 300))
+
+    def test_surplus_reinsertion_is_billed_and_reported(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many(random_permutation(600, seed=24))
+            top = s.pop_min(3)  # leaf holds far more than 3: surplus goes back
+            assert top.extras["reinserted"] > 0
+            assert top.reads > 0  # leaf pops + re-inserts billed here
+            # delta billing: the next report starts from a clean mark
+            mid = s.pop_min(3)
+            assert mid.reads < top.reads
+            rest = s.close()
+            assert rest.n == 594
+        # every record drained exactly once across the three reports
+        assert top.n + mid.n + rest.n == 600
+
+    def test_pop_more_than_held_returns_what_exists(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many([5, 3, 9])
+            rep = s.pop_min(10)
+            assert rep.output == [3, 5, 9]
+            assert len(s) == 0
+            assert s.pop_min(1).output == []
+
+    def test_pop_min_respects_deletes_and_duplicates(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many([4, 1, 4, 2])
+            s.delete(4)  # most recent instance of 4
+            rep = s.pop_min(3)
+            assert rep.output == [1, 2, 4]
+
+    def test_deleting_a_popped_key_fails_fast(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many([1, 2, 3])
+            s.pop_min(1)  # 1 left the session
+            with pytest.raises(KeyError):
+                s.delete(1)
+            s.delete(2)  # still held: fine
+
+    def test_prediction_covers_reinserts(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many(random_permutation(500, seed=25))
+            top = s.pop_min(5)
+            reinserted = top.extras["reinserted"]
+            assert reinserted > 0
+            pred = predict_stream_io(500 + reinserted, PARAMS, s.k)
+            assert (top.extras["predicted_reads"], top.extras["predicted_writes"]) == pred
+
+    def test_invalid_m_rejected(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push(1)
+            with pytest.raises(ValueError, match="m >= 1"):
+                s.pop_min(0)
+
+    def test_closed_session_rejects_pop_min(self):
+        engine = SortEngine(PARAMS)
+        s = engine.stream()
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.pop_min(1)
+
+    def test_pop_min_reports_recorded_like_flushes(self):
+        engine = SortEngine(PARAMS)
+        with engine.stream() as s:
+            s.push_many(random_permutation(100, seed=26))
+            a = s.pop_min(10)
+            b = s.flush()
+        final = s.report
+        assert s.reports[:2] == [a, b]
+        assert final is s.reports[-1]

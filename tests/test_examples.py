@@ -30,6 +30,7 @@ def test_examples_directory_contents():
         "cache_oblivious_pipeline",
         "reproduce_paper",
         "streaming_ingest",
+        "service_jobs",
     } <= names
 
 
@@ -47,6 +48,14 @@ def test_streaming_ingest(capsys):
     out = capsys.readouterr().out
     assert "Streaming ingest vs one-shot sort" in out
     assert "amortized block transfers per surviving record" in out
+
+
+def test_service_jobs(capsys):
+    load("service_jobs").main()
+    out = capsys.readouterr().out
+    assert "dashboard job sorted" in out
+    assert "1 failed alone" in out
+    assert "served over 127.0.0.1:" in out
 
 
 def test_event_queue(capsys):

@@ -1,0 +1,201 @@
+"""Tests for the persistent engine server (line protocol) and its client."""
+
+import json
+import socket
+
+import pytest
+
+from repro import MachineParams, SortEngine
+from repro.service import EngineServer, ServiceClient, ServiceError, SortService
+from repro.workloads import random_permutation
+
+PARAMS = MachineParams(M=64, B=8, omega=8)
+
+
+@pytest.fixture
+def served():
+    """A live server on an ephemeral port + a connected client."""
+    engine = SortEngine(PARAMS)
+    service = SortService(engine, workers=2)
+    server = EngineServer(service).start()
+    host, port = server.address
+    client = ServiceClient(host, port, retries=20)
+    yield client, service, server
+    client.close()
+    server.close()
+    service.shutdown(drain=False)
+    engine.close()
+
+
+class TestRoundTrip:
+    def test_ping(self, served):
+        client, _, _ = served
+        assert client.ping()
+
+    def test_submit_then_result_is_sorted(self, served):
+        client, _, _ = served
+        data = random_permutation(500, seed=3)
+        ticket = client.submit(data, label="rt")
+        res = client.result(ticket)
+        assert res["output"] == sorted(data)
+        assert res["n"] == 500 and res["ticket"] == ticket
+        assert res["reads"] > 0 and res["cost"] > 0
+        assert res["algorithm"]
+
+    def test_sort_convenience(self, served):
+        client, _, _ = served
+        data = random_permutation(200, seed=4)
+        assert client.sort(data) == sorted(data)
+
+    def test_pinned_algorithm(self, served):
+        client, _, _ = served
+        data = random_permutation(300, seed=5)
+        ticket = client.submit(data, algorithm="selection")
+        assert client.result(ticket)["algorithm"] == "aem-selection"
+
+    def test_submit_many_and_gather(self, served):
+        client, _, _ = served
+        batches = [random_permutation(100 + 20 * i, seed=i) for i in range(5)]
+        tickets = client.submit_many(batches)
+        assert len(tickets) == 5
+        results = client.gather(tickets)
+        for res, batch in zip(results, batches):
+            assert res["output"] == sorted(batch)
+
+    def test_result_consumes_ticket_unless_kept(self, served):
+        client, _, _ = served
+        ticket = client.submit(random_permutation(100, seed=6))
+        first = client.result(ticket, keep=True)
+        again = client.result(ticket)  # kept: still readable; now consumed
+        assert first["output"] == again["output"]
+        with pytest.raises(ServiceError, match="unknown ticket"):
+            client.result(ticket)
+
+    def test_failed_result_is_consumed_too(self, served):
+        client, _, _ = served
+        ticket = client.submit([3, 1, 2], algorithm="bogosort")
+        with pytest.raises(ServiceError, match="unknown algorithm"):
+            client.result(ticket)
+        with pytest.raises(ServiceError, match="unknown ticket"):
+            client.result(ticket)
+
+    def test_stats_surface_service_counters(self, served):
+        client, service, _ = served
+        ticket = client.submit(random_permutation(50, seed=7))
+        stats = client.stats()
+        assert stats["workers"] == service.workers
+        assert stats["tickets"] >= 1  # unconsumed ticket still registered
+        client.result(ticket)
+        stats = client.stats()
+        assert stats["completed"] >= 1
+        assert stats["tickets"] == 0  # consumed on the terminal result
+
+
+class TestFailuresOverTheWire:
+    def test_job_failure_reported_with_kind(self, served):
+        client, _, _ = served
+        ticket = client.submit([3, 1, 2], algorithm="bogosort")
+        with pytest.raises(ServiceError, match="unknown algorithm") as err:
+            client.result(ticket)
+        assert err.value.reply["kind"] == "ValueError"
+
+    def test_unknown_ticket(self, served):
+        client, _, _ = served
+        with pytest.raises(ServiceError, match="unknown ticket"):
+            client.result(999_999)
+
+    def test_unknown_op(self, served):
+        client, _, _ = served
+        reply = client.request({"op": "frobnicate"})
+        assert not reply["ok"] and "unknown op" in reply["error"]
+
+    def test_invalid_json_line(self, served):
+        client, _, server = served
+        host, port = server.address
+        with socket.create_connection((host, port)) as raw:
+            raw.sendall(b"this is not json\n")
+            reply = json.loads(raw.makefile("r").readline())
+        assert not reply["ok"] and "invalid request" in reply["error"]
+
+    def test_submit_without_data(self, served):
+        client, _, _ = served
+        reply = client.request({"op": "submit"})
+        assert not reply["ok"] and "data" in reply["error"]
+
+    def test_non_numeric_priority_rejected_over_the_wire(self, served):
+        client, _, _ = served
+        reply = client.request({"op": "submit", "data": [2, 1], "priority": "high"})
+        assert not reply["ok"] and "priority" in reply["error"]
+        # the service (and its heap) survived the bad request
+        assert client.sort([3, 1, 2]) == [1, 2, 3]
+
+    def test_result_timeout_reports_pending(self, served):
+        client, service, _ = served
+        # occupy both workers long enough that a 0-timeout result can race
+        # nothing: submit against a queue and ask with timeout=0
+        tickets = [client.submit(random_permutation(800, seed=i)) for i in range(4)]
+        reply = client.request(
+            {"op": "result", "ticket": tickets[-1], "timeout": 0, "keep": True}
+        )
+        if not reply["ok"]:  # may legitimately have finished already
+            assert reply["error"] == "timeout" and reply["pending"]
+        client.gather(tickets)  # drain
+
+
+class TestCancelAndStatus:
+    def test_cancel_queued_job(self, served):
+        client, service, _ = served
+        # stuff the queue so at least the last submission is still pending
+        tickets = [client.submit(random_permutation(700, seed=i)) for i in range(6)]
+        cancelled = client.cancel(tickets[-1])
+        if cancelled:
+            with pytest.raises(ServiceError, match="cancelled"):
+                client.result(tickets[-1])
+        for t in tickets[:-1]:
+            client.result(t)
+
+    def test_status_states_are_legal(self, served):
+        client, _, _ = served
+        ticket = client.submit(random_permutation(60, seed=8))
+        assert client.status(ticket) in {"PENDING", "RUNNING", "FINISHED"}
+        client.result(ticket, keep=True)  # keep: status stays queryable
+        assert client.status(ticket) == "FINISHED"
+
+
+class TestLifecycle:
+    def test_shutdown_op_stops_listener(self):
+        engine = SortEngine(PARAMS)
+        service = SortService(engine, workers=1)
+        server = EngineServer(service).start()
+        host, port = server.address
+        with ServiceClient(host, port, retries=20) as client:
+            assert client.sort([3, 1, 2]) == [1, 2, 3]
+            client.shutdown_server()
+        # listener is gone: fresh connections are refused (poll briefly —
+        # the OS may lag the close)
+        import time
+
+        for _ in range(50):
+            try:
+                socket.create_connection((host, port), timeout=0.2).close()
+                time.sleep(0.05)
+            except OSError:
+                break
+        else:
+            pytest.fail("server still accepting connections after shutdown op")
+        server.close()
+        service.shutdown(drain=False)
+        engine.close()
+
+    def test_client_retries_then_fails_cleanly(self):
+        with pytest.raises(ConnectionError, match="cannot reach"):
+            ServiceClient("127.0.0.1", 1, retries=1, retry_delay=0.01)
+
+    def test_concurrent_clients(self, served):
+        client, _, server = served
+        host, port = server.address
+        with ServiceClient(host, port) as second:
+            d1, d2 = random_permutation(150, seed=9), random_permutation(150, seed=10)
+            t1, t2 = client.submit(d1), second.submit(d2)
+            assert second.result(t2)["output"] == sorted(d2)
+            assert client.result(t1)["output"] == sorted(d1)

@@ -121,10 +121,10 @@ class TestProcessExecutor:
 
         real = sharding.execute_shard
 
-        def flaky(shard, check_sorted=False, constants=None):
+        def flaky(shard, check_sorted=False, constants=None, warm_entries=None):
             if any(index == 0 for index, _ in shard):
                 raise RuntimeError("simulated worker death")
-            return real(shard, check_sorted, constants)
+            return real(shard, check_sorted, constants, warm_entries)
 
         class InlinePool:
             def __init__(self, max_workers):
@@ -205,3 +205,67 @@ class TestShardUnits:
         assert "Weird" in str(standin)
         plain = ValueError("fine")
         assert _picklable_error(plain) is plain
+
+
+class TestWarmCache:
+    def test_warm_entries_eliminate_shard_misses(self):
+        from repro import PlanCache
+
+        parent = PlanCache()
+        parent.plan(400, SMALL)
+        jobs = [
+            SortJob(data=random_permutation(400, seed=i), params=SMALL)
+            for i in range(8)
+        ]
+        cold = run_batch(jobs, executor="process", max_workers=2)
+        warm = run_batch(jobs, executor="process", max_workers=2,
+                         warm_cache=parent)
+        assert cold.plan_misses == 2 and cold.plan_hits == 6
+        assert warm.plan_misses == 0 and warm.plan_hits == 8
+        # identical model aggregates either way — warmth saves planning
+        # compute, never changes plans
+        assert warm.total_cost() == cold.total_cost()
+
+    def test_warm_cache_accepts_snapshot_entries(self):
+        from repro import PlanCache
+        from repro.planner.batch import execute_batch
+
+        parent = PlanCache()
+        parent.plan(300, SMALL)
+        jobs = [
+            SortJob(data=random_permutation(300, seed=i), params=SMALL)
+            for i in range(4)
+        ]
+        report = execute_batch(jobs, max_workers=2, executor="process",
+                               warm_cache=parent.snapshot())
+        assert report.plan_misses == 0 and report.plan_hits == 4
+
+    def test_thread_mode_seeds_the_shared_cache(self):
+        from repro import PlanCache
+        from repro.planner.batch import execute_batch
+
+        parent = PlanCache()
+        parent.plan(250, SMALL)
+        jobs = [
+            SortJob(data=random_permutation(250, seed=i), params=SMALL)
+            for i in range(3)
+        ]
+        report = execute_batch(jobs, executor="thread", warm_cache=parent)
+        assert report.plan_misses == 0 and report.plan_hits == 3
+
+
+class TestPerShardStats:
+    def test_merged_report_carries_per_shard_hit_miss(self):
+        jobs = [
+            SortJob(data=random_permutation(400, seed=i), params=SMALL)
+            for i in range(8)
+        ]
+        report = run_batch(jobs, executor="process", max_workers=2)
+        assert report.shard_plan_stats == [(3, 1), (3, 1)]
+        assert report.summary()["plan_per_shard"] == "3/1,3/1"
+
+    def test_thread_mode_reports_no_shard_breakdown(self):
+        jobs = _mixed_jobs(4)
+        report = run_batch(jobs, executor="thread")
+        assert report.shard_plan_stats == []
+        assert report.summary()["plan_per_shard"] == "-"
