@@ -16,7 +16,7 @@ import time
 
 from conftest import run_once
 
-from repro import MachineParams, SortJob, run_batch
+from repro import MachineParams, SortJob, kernel_mode, run_batch
 from repro.service import SortService
 from repro.workloads import make_scenario
 
@@ -42,7 +42,8 @@ def _service_rounds(jobs, rounds=ROUNDS):
         t0 = time.perf_counter()
         reports = [svc.gather(svc.submit_many(jobs)) for _ in range(rounds)]
         wall = time.perf_counter() - t0
-    return reports, wall
+        stats = svc.stats()
+    return reports, wall, stats
 
 
 def _run_batch_rounds(jobs, rounds=ROUNDS):
@@ -55,7 +56,9 @@ def _run_batch_rounds(jobs, rounds=ROUNDS):
 
 def bench_persistent_pool_vs_run_batch(benchmark):
     jobs = _job_set()
-    service_reports, service_wall = run_once(benchmark, _service_rounds, jobs)
+    service_reports, service_wall, service_stats = run_once(
+        benchmark, _service_rounds, jobs
+    )
     batch_reports, batch_wall = _run_batch_rounds(jobs)
 
     for svc_rep, sh_rep in zip(service_reports, batch_reports):
@@ -73,7 +76,7 @@ def bench_persistent_pool_vs_run_batch(benchmark):
     for _ in range(2):
         if service_jps >= batch_jps:
             break
-        _, w = _service_rounds(jobs)
+        _, w, _stats = _service_rounds(jobs)
         service_jps = max(service_jps, total_jobs / w)
         _, w = _run_batch_rounds(jobs)
         batch_jps = max(batch_jps, total_jobs / w)
@@ -81,6 +84,10 @@ def bench_persistent_pool_vs_run_batch(benchmark):
         f"persistent pool {service_jps:.0f} jobs/s fell behind one-shot "
         f"run_batch {batch_jps:.0f} jobs/s (best of 3)"
     )
+    # throughput counters from SortService.stats(): the dashboard numbers
+    assert service_stats["records_sorted"] == sum(len(j.data) for j in jobs) * ROUNDS
+    assert service_stats["records_per_sec"] > 0
+    assert service_stats["avg_job_seconds"] > 0
     benchmark.extra_info.update(
         {
             "rounds": ROUNDS,
@@ -88,6 +95,45 @@ def bench_persistent_pool_vs_run_batch(benchmark):
             "service_jobs_per_s": round(service_jps, 1),
             "run_batch_jobs_per_s": round(batch_jps, 1),
             "speedup": round(service_jps / max(batch_jps, 1e-9), 2),
+            "service_records_per_sec": service_stats["records_per_sec"],
+            "service_avg_job_seconds": service_stats["avg_job_seconds"],
+        }
+    )
+
+
+def bench_service_throughput_kernel_delta(benchmark):
+    """Service-level records/sec with the vectorized kernels vs the
+    ``slow_reference`` mode — the kernel layer's delta as the SortService
+    dashboard sees it."""
+    jobs = _job_set(count=8, n=4_000)
+
+    def one_mode(mode):
+        with kernel_mode(mode):
+            with SortService(PARAMS, workers=4, executor="thread") as svc:
+                report = svc.gather(svc.submit_many(jobs, check_sorted=True))
+                stats = svc.stats()
+        assert not report.failures
+        return report, stats
+
+    def both():
+        fast_report, fast = one_mode("vectorized")
+        slow_report, slow = one_mode("slow_reference")
+        # scheduling changed nothing model-level: identical aggregates
+        assert fast_report.total_reads == slow_report.total_reads
+        assert fast_report.total_writes == slow_report.total_writes
+        return fast, slow
+
+    fast, slow = run_once(benchmark, both)
+    assert fast["records_sorted"] == slow["records_sorted"]
+    delta = fast["records_per_sec"] / max(slow["records_per_sec"], 1e-9)
+    # the vectorized kernels must not make the service slower; wall-clock is
+    # noisy under thread scheduling, so hold a conservative floor
+    assert delta >= 0.8, f"vectorized kernels slowed the service: {delta:.2f}x"
+    benchmark.extra_info.update(
+        {
+            "vectorized_records_per_sec": fast["records_per_sec"],
+            "slow_reference_records_per_sec": slow["records_per_sec"],
+            "kernel_throughput_delta": round(delta, 2),
         }
     )
 

@@ -29,7 +29,10 @@ from .core import (
     aem_mergesort,
     aem_samplesort,
     bst_sort,
+    get_default_kernel,
+    kernel_mode,
     selection_sort,
+    set_default_kernel,
 )
 from .models import (
     AEMachine,
@@ -92,10 +95,13 @@ __all__ = [
     "aem_samplesort",
     "bst_sort",
     "calibrate",
+    "get_default_kernel",
+    "kernel_mode",
     "plan_sort",
     "rank_plans",
     "run_batch",
     "selection_sort",
+    "set_default_kernel",
     "sort_auto",
     "sort_external",
     "sort_ram",

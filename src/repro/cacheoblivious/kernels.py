@@ -7,11 +7,20 @@ sort uses ("prefix sums and mergesort as subroutines ... described in [9]").
 
 from __future__ import annotations
 
+from ..models.ideal_cache import bulk_copy
+
 
 def co_scan_copy(src, dst) -> None:
-    """Copy ``src`` into ``dst`` with two synchronised scans: O(n/B) misses."""
+    """Copy ``src`` into ``dst`` with two synchronised scans: O(n/B) misses.
+
+    Sim arrays take the block-granular bulk path (identical access sequence
+    and charges, batched per block span); anything else falls back to the
+    per-element loop.
+    """
     if len(src) != len(dst):
         raise ValueError(f"length mismatch: {len(src)} vs {len(dst)}")
+    if bulk_copy(src, dst):
+        return
     for i in range(len(src)):
         dst[i] = src[i]
 

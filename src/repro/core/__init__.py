@@ -19,6 +19,13 @@ from .aem_heapsort import AEMPriorityQueue, aem_heapsort
 from .aem_mergesort import aem_mergesort
 from .aem_samplesort import aem_samplesort
 from .buffer_tree import BufferTree
+from .kernels import (
+    SLOW_REFERENCE,
+    VECTORIZED,
+    get_default_kernel,
+    kernel_mode,
+    set_default_kernel,
+)
 from .ram_sort import RAM_SORTS, bst_sort, heapsort, mergesort, quicksort
 from .selection_sort import selection_sort
 
@@ -26,12 +33,17 @@ __all__ = [
     "AEMPriorityQueue",
     "BufferTree",
     "RAM_SORTS",
+    "SLOW_REFERENCE",
+    "VECTORIZED",
     "aem_heapsort",
     "aem_mergesort",
     "aem_samplesort",
     "bst_sort",
+    "get_default_kernel",
     "heapsort",
+    "kernel_mode",
     "mergesort",
     "quicksort",
     "selection_sort",
+    "set_default_kernel",
 ]

@@ -29,23 +29,32 @@ import math
 
 from ..models.external_memory import AEMachine, BlockWriter, ExtArray, MemoryGuard
 from .buffer_tree import BufferTree
+from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
 
 
 class AEMPriorityQueue:
-    """Write-efficient external-memory priority queue (INSERT / DELETE-MIN)."""
+    """Write-efficient external-memory priority queue (INSERT / DELETE-MIN).
 
-    def __init__(self, machine: AEMachine, k: int = 1, guard: MemoryGuard | None = None):
+    ``kernel`` selects the block-granular fast path (``"vectorized"``,
+    default) or the record-at-a-time reference (``"slow_reference"``) for the
+    alpha/beta maintenance operations and the underlying buffer tree; both
+    produce identical contents and identical counters.
+    """
+
+    def __init__(self, machine: AEMachine, k: int = 1, guard: MemoryGuard | None = None,
+                 *, kernel: str | None = None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.machine = machine
         self.k = k
+        self.kernel = resolve_kernel(kernel)
         self.guard = guard if guard is not None else MemoryGuard()
         params = machine.params
 
         self.alpha_capacity = max(1, params.M // 4)
         self.beta_capacity = 2 * k * params.M
 
-        self.tree = BufferTree(machine, k)
+        self.tree = BufferTree(machine, k, kernel=self.kernel)
         self._alpha: list = []  # sorted ascending, in memory (free)
         self._beta: ExtArray = machine.allocate("beta")
         self._beta_writer: BlockWriter | None = None  # last block in memory
@@ -90,6 +99,28 @@ class AEMPriorityQueue:
             return
         self.tree.insert(key)
 
+    def insert_block(self, block) -> None:
+        """Route a whole block of records (§4.3.3 routing, batched where
+        that is provably identical to looped :meth:`insert`).
+
+        When both working sets are empty (heapsort's insert half: all
+        records precede the first DELETE-MIN) every record routes to the
+        buffer tree and nothing can change that mid-block — no alpha means
+        no spills, no beta means no overflows — so the whole block lands
+        via one :meth:`BufferTree.insert_many` batch.  With a populated
+        alpha/beta the routing thresholds are live state (a spill into an
+        empty beta *raises* ``beta_max``; a beta overflow pushes records
+        into the tree mid-stream), so records route one at a time, exactly
+        like :meth:`insert` — deferring tree-bound records there would
+        reorder them against overflow pushes and change buffer layouts.
+        """
+        if not self._alpha and self._beta_max is None:
+            self.size += len(block)
+            self.tree.insert_many(block)
+            return
+        for key in block:
+            self.insert(key)
+
     def _beta_append(self, key) -> None:
         if self._beta_writer is None or self._beta_writer.closed:
             self._beta_writer = BlockWriter(self.machine, self._beta)
@@ -113,6 +144,24 @@ class AEMPriorityQueue:
         self.size -= 1
         return self._alpha.pop(0)
 
+    def pop_batch(self) -> list:
+        """Drain and return the whole alpha working set (refilled first if
+        empty) in one bulk operation — ascending order.
+
+        Equivalent to calling :meth:`delete_min` ``len(batch)`` times with no
+        interleaved inserts (refills trigger at exactly the same points, so
+        charges are identical); the vectorized heapsort driver drains through
+        this instead of popping one record at a time.
+        """
+        if self.size == 0:
+            raise IndexError("pop_batch from an empty priority queue")
+        if not self._alpha:
+            self._refill_alpha()
+        batch = self._alpha
+        self._alpha = []
+        self.size -= len(batch)
+        return batch
+
     def _refill_alpha(self) -> None:
         if self._beta_valid == 0:
             self._refill_beta_from_tree()
@@ -123,13 +172,19 @@ class AEMPriorityQueue:
         # valid records in memory (a bounded max-heap), then one appended
         # deletion pair.
         self._seal_beta_writer()
-        smallest: list = []  # max-heap via negation
-        for rec in self._iter_valid_beta():
-            if len(smallest) < take:
-                heapq.heappush(smallest, _Neg(rec))
-            elif rec < smallest[0].value:
-                heapq.heapreplace(smallest, _Neg(rec))
-        batch = sorted(item.value for item in smallest)
+        if self.kernel == SLOW_REFERENCE:
+            smallest: list = []  # max-heap via negation
+            for rec in self._iter_valid_beta():
+                if len(smallest) < take:
+                    heapq.heappush(smallest, _Neg(rec))
+                elif rec < smallest[0].value:
+                    heapq.heapreplace(smallest, _Neg(rec))
+            batch = sorted(item.value for item in smallest)
+        else:
+            # block-granular: the shared bounded-selection kernel over the
+            # validity-filtered beta blocks (exact take-smallest multiset,
+            # same as the reference's heap; scratch <= 1.5 * take < M/2)
+            batch = take_smallest(self._valid_beta_blocks(), take)
         self._alpha = batch
         x = batch[-1]
         # implicit deletion: everything with index <= current length and key
@@ -153,6 +208,8 @@ class AEMPriorityQueue:
         idx = 0
         pi = 0
         for bi in range(self._beta.num_blocks):
+            if not self._beta._blocks[bi]:  # empty placeholder: no transfer
+                continue
             block = self.machine.read_block(self._beta, bi, copy=False)
             for rec in block:
                 while pi < len(pairs) and pairs[pi][0] < idx:
@@ -161,6 +218,38 @@ class AEMPriorityQueue:
                 if not invalid:
                     yield rec
                 idx += 1
+
+    def _valid_beta_blocks(self):
+        """Block-granular counterpart of :meth:`_iter_valid_beta`: yield one
+        list of valid records per scanned beta block (same filter, same
+        charges — one read per non-empty block)."""
+        pairs = self._pairs
+        idx = 0
+        pi = 0
+        n_pairs = len(pairs)
+        for block in self.machine.scan_blocks(self._beta):
+            blk_len = len(block)
+            if pi >= n_pairs:
+                # every deletion pair lies behind the scan: whole block valid
+                yield list(block)
+                idx += blk_len
+                continue
+            # the pair list is sorted by index, so the block splits into at
+            # most n_pairs+1 segments, each filtered by one comprehension
+            valid: list = []
+            off = 0
+            while off < blk_len:
+                while pi < n_pairs and pairs[pi][0] < idx + off:
+                    pi += 1
+                if pi >= n_pairs:
+                    valid.extend(block[off:])
+                    break
+                bound_i, x = pairs[pi]
+                seg_end = min(blk_len, bound_i - idx + 1)
+                valid.extend([r for r in block[off:seg_end] if r > x])
+                off = seg_end
+            idx += blk_len
+            yield valid
 
     def _seal_beta_writer(self) -> None:
         if self._beta_writer is not None and not self._beta_writer.closed:
@@ -177,11 +266,21 @@ class AEMPriorityQueue:
         writer = self.machine.writer(name="beta")
         count = 0
         new_max = None
-        for rec in self._iter_valid_beta():
-            writer.append(rec)
-            count += 1
-            if new_max is None or rec > new_max:
-                new_max = rec
+        if self.kernel == SLOW_REFERENCE:
+            for rec in self._iter_valid_beta():
+                writer.append(rec)
+                count += 1
+                if new_max is None or rec > new_max:
+                    new_max = rec
+        else:
+            for valid in self._valid_beta_blocks():
+                if not valid:
+                    continue
+                writer.extend(valid)
+                count += len(valid)
+                m = max(valid)
+                if new_max is None or m > new_max:
+                    new_max = m
         self._beta = writer.close()
         self._beta_len = count
         self._beta_valid = count
@@ -196,18 +295,37 @@ class AEMPriorityQueue:
         self._rebuild_beta()
         from .selection_sort import selection_sort
 
-        sorted_beta = selection_sort(self.machine, self._beta, guard=self.guard)
+        sorted_beta = selection_sort(
+            self.machine, self._beta, guard=self.guard, kernel=self.kernel
+        )
         keep = self._beta_valid - self._beta_valid // 2
         writer = self.machine.writer(name="beta")
         new_max = None
-        idx = 0
-        for rec in self.machine.scan(sorted_beta):
-            if idx < keep:
-                writer.append(rec)
-                new_max = rec
-            else:
-                self.tree.insert(rec)
-            idx += 1
+        if self.kernel == SLOW_REFERENCE:
+            idx = 0
+            for rec in self.machine.scan(sorted_beta):
+                if idx < keep:
+                    writer.append(rec)
+                    new_max = rec
+                else:
+                    self.tree.insert(rec)
+                idx += 1
+        else:
+            # sorted scan: the first `keep` records stay in beta (slice per
+            # block), the suffix streams into the buffer tree
+            idx = 0
+            for block in self.machine.scan_blocks(sorted_beta):
+                end = idx + len(block)
+                if end <= keep:
+                    writer.extend(block)
+                    new_max = block[-1]
+                else:
+                    head = block[: keep - idx] if idx < keep else []
+                    if head:
+                        writer.extend(head)
+                        new_max = head[-1]
+                    self.tree.insert_many(block[len(head):])
+                idx = end
         self._beta = writer.close()
         self._beta_len = keep
         self._beta_valid = keep
@@ -228,10 +346,16 @@ class AEMPriorityQueue:
         writer = self.machine.writer(name="beta")
         count = 0
         new_max = None
-        for rec in self.machine.scan(leaf):
-            writer.append(rec)
-            count += 1
-            new_max = rec
+        if self.kernel == SLOW_REFERENCE:
+            for rec in self.machine.scan(leaf):
+                writer.append(rec)
+                count += 1
+                new_max = rec
+        else:
+            for block in self.machine.scan_blocks(leaf):
+                writer.extend(block)
+                count += len(block)
+                new_max = block[-1]
         self._beta = writer.close()
         self._beta_len = count
         self._beta_valid = count
@@ -258,18 +382,37 @@ def aem_heapsort(
     arr: ExtArray,
     k: int = 1,
     guard: MemoryGuard | None = None,
+    *,
+    kernel: str | None = None,
 ) -> ExtArray:
     """Sort by ``n`` INSERTs followed by ``n`` DELETE-MINs (§4.3 closing).
 
     Total cost ``O((kn/B)(1 + log_{kM/B} n))`` reads and
     ``O((n/B)(1 + log_{kM/B} n))`` writes, matching Theorem 4.10.
+
+    The vectorized kernel feeds inserts from whole scanned blocks and drains
+    whole alpha batches (:meth:`AEMPriorityQueue.pop_batch`) instead of one
+    DELETE-MIN per record; refills — and therefore charges — happen at
+    exactly the same points.
     """
-    pq = AEMPriorityQueue(machine, k, guard=guard)
-    for rec in machine.scan(arr):
-        pq.insert(rec)
+    kernel = resolve_kernel(kernel)
+    pq = AEMPriorityQueue(machine, k, guard=guard, kernel=kernel)
+    if kernel == SLOW_REFERENCE:
+        for rec in machine.scan(arr):
+            pq.insert(rec)
+        out = machine.writer(name="heapsort-out")
+        for _ in range(arr.length):
+            out.append(pq.delete_min())
+        return out.close()
+    for block in machine.scan_blocks(arr):
+        pq.insert_block(block)
     out = machine.writer(name="heapsort-out")
-    for _ in range(arr.length):
-        out.append(pq.delete_min())
+    written = 0
+    n = arr.length
+    while written < n:
+        batch = pq.pop_batch()
+        out.extend(batch)
+        written += len(batch)
     return out.close()
 
 

@@ -51,6 +51,7 @@ import bisect
 import math
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
+from .kernels import SLOW_REFERENCE, resolve_kernel
 from .selection_sort import selection_sort
 
 _INF = object()  # sentinel: larger than every key
@@ -102,6 +103,7 @@ def aem_mergesort(
     guard: MemoryGuard | None = None,
     *,
     round_threshold: bool = True,
+    kernel: str | None = None,
 ) -> ExtArray:
     """Sort ``arr`` on the AEM machine; ``k = 1`` recovers classic EM mergesort.
 
@@ -116,10 +118,16 @@ def aem_mergesort(
         *literally* — provided as an ablation so the erratum is empirically
         demonstrable; on adversarial inputs it raises
         :class:`StrandingDetected` instead of silently dropping records.
+    kernel:
+        ``"vectorized"`` (default) merges with block-granular bulk drains;
+        ``"slow_reference"`` runs the original record-at-a-time queue.  The
+        paper-literal ablation (``round_threshold=False``) always runs the
+        reference kernel — it exists to reproduce that code path exactly.
 
     Returns a new sorted :class:`ExtArray`.
     """
     params = machine.params
+    kernel = resolve_kernel(kernel)
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     l = params.fanout(k)
@@ -131,14 +139,17 @@ def aem_mergesort(
         guard = MemoryGuard()
 
     if arr.length <= k * params.M:
-        return selection_sort(machine, arr, guard=guard)
+        return selection_sort(machine, arr, guard=guard, kernel=kernel)
 
     runs = machine.split_blocks(arr, l)
     sorted_runs = [
-        aem_mergesort(machine, run, k, guard, round_threshold=round_threshold)
+        aem_mergesort(machine, run, k, guard, round_threshold=round_threshold,
+                      kernel=kernel)
         for run in runs
     ]
-    return _merge(machine, sorted_runs, guard, round_threshold=round_threshold)
+    if kernel == SLOW_REFERENCE or not round_threshold:
+        return _merge(machine, sorted_runs, guard, round_threshold=round_threshold)
+    return _merge_vectorized(machine, sorted_runs, guard)
 
 
 def _merge(
@@ -220,6 +231,213 @@ def _merge(
             if is_last:
                 pointers[i] += 1
                 process_block(i)
+
+    guard.release(footprint)
+    return out.close()
+
+
+def _splice_sorted(items: list, seg: list) -> None:
+    """Merge sorted ``seg`` into sorted ``items`` in place.
+
+    Finds each maximal run of ``seg`` that falls into one gap of ``items``
+    (``bisect``) and inserts it with a single slice assignment — a C-level
+    ``memmove`` per *gap*, instead of one ``insort`` per record.
+    """
+    ins = 0
+    i0 = 0
+    ns = len(seg)
+    while i0 < ns:
+        ins = bisect.bisect_right(items, seg[i0], ins)
+        if ins == len(items):
+            items.extend(seg[i0:] if i0 else seg)
+            return
+        j = bisect.bisect_left(seg, items[ins], i0)
+        items[ins:ins] = seg[i0:j]
+        ins += j - i0
+        i0 = j
+
+
+def _merge_vectorized(
+    machine: AEMachine,
+    runs: list[ExtArray],
+    guard: MemoryGuard,
+) -> ExtArray:
+    """Block-granular Lemma 4.1 merge (round-threshold semantics).
+
+    Control flow — which block is read when, which records each round
+    admits, ejects or strands — is *identical* to :func:`_merge`; only the
+    in-memory mechanics are batched:
+
+    * phase-1 admission slices a block's admissible segment with ``bisect``
+      (runs are sorted, so records ``<= lastV`` are a prefix and records
+      ``>= T`` a suffix) and, when the whole segment fits without capacity
+      events, splices it into the queue with one C-level sort of two sorted
+      runs; capacity-constrained blocks fall back to the reference's
+      faithful eject/skip loop;
+    * phase-2 drains the maximal queue prefix up to the next block-boundary
+      entry with one ``extend`` to the output writer instead of a ``pop(0)``
+      (an O(M) list shift!) per record.
+
+    Both give byte-identical outputs and counters; the parity suite pins it.
+    """
+    params = machine.params
+    n = sum(r.length for r in runs)
+    out = machine.writer(name="merge-out")
+    if n == 0:
+        return out.close()
+
+    footprint = params.M + 2 * params.B
+    guard.acquire(footprint)
+
+    M = params.M
+    items: list[tuple] = []  # sorted entries (key, run_index, is_last_in_block)
+    pointers = [0] * len(runs)  # I_1..I_l: current block index per run
+    last_v = None  # last value written to the output (None = -inf)
+    written = 0
+    threshold = _INF  # per-round cap T (reset each round)
+
+    def process_block(i: int) -> None:
+        """Read run i's current block and admit eligible records in bulk."""
+        nonlocal threshold
+        run = runs[i]
+        bi = pointers[i]
+        if bi >= run.num_blocks:
+            return
+        block = machine.read_block(run, bi, copy=False)
+        blk_len = len(block)
+        start = bisect.bisect_right(block, last_v) if last_v is not None else 0
+        if threshold is _INF:
+            end = blk_len
+        else:
+            end = bisect.bisect_left(block, threshold, start)
+        if end <= start:
+            return
+        if start == 0 and end == blk_len:
+            seg = [(rec, i, False) for rec in block]
+            seg[-1] = (block[-1], i, True)
+        else:
+            last_pos = blk_len - 1
+            seg = [(block[pos], i, pos == last_pos) for pos in range(start, end)]
+        free = M - len(items)
+        if len(seg) <= free:
+            # no capacity event possible: splice the sorted segment into the
+            # sorted queue, one C-level slice insertion per gap
+            if not items or seg[0] >= items[-1]:
+                items.extend(seg)
+            else:
+                _splice_sorted(items, seg)
+            return
+        # Capacity-constrained admission, batched.  The reference processes
+        # the (ascending) segment one record at a time: fill free slots,
+        # then each further record either ejects the queue max (if smaller)
+        # or is skipped, capping the round threshold and ending the block
+        # (everything later is larger still).  Because admitted records are
+        # never the queue max, the ejected entries are exactly the top ``t``
+        # of the pre-admission queue, where ``t`` is the largest prefix of
+        # the segment with ``seg[j] < items[M-1-j]`` — so the whole exchange
+        # is one slice delete plus one splice, and the threshold drops to
+        # the smallest ejected key (then to the first skipped key, if that
+        # skip was still admissible).
+        if free:
+            head = seg[:free]
+            if not items or head[0] >= items[-1]:
+                items.extend(head)
+            else:
+                _splice_sorted(items, head)
+            seg = seg[free:]
+        t = 0
+        ns = len(seg)
+        while t < ns and seg[t][0] < items[M - 1 - t][0]:
+            t += 1
+        if t:
+            ejected_min = items[M - t][0]
+            threshold = (
+                ejected_min if threshold is _INF else min(threshold, ejected_min)
+            )
+            del items[M - t :]
+            admitted = seg[:t]
+            if not items or admitted[0] >= items[-1]:
+                items.extend(admitted)
+            else:
+                _splice_sorted(items, admitted)
+        if t < ns:
+            rec = seg[t][0]
+            if threshold is _INF or rec < threshold:
+                # skipped due to capacity while still admissible: cap the
+                # round at this key
+                threshold = rec if threshold is _INF else min(threshold, rec)
+
+    n_runs = len(runs)
+    phase1_margin = M + 1 + (M >> 1)
+    while written < n:
+        # ---- phase 1: one pass over every run's current block ----------
+        # The round starts with an empty queue, so its outcome is closed
+        # form: the queue ends as the M smallest admissible entries across
+        # all current blocks, and the round threshold T ends at the
+        # (M+1)-th (every eject/skip key has M smaller keys already seen,
+        # so T can never undercut it; the (M+1)-th itself is ejected,
+        # skipped, or T-filtered).  Gather candidate windows per run with
+        # one listcomp each, keep the M+1 smallest (pruned at 1.5M so the
+        # scratch stays bounded), then cut the queue and T together —
+        # no per-record queue traffic at all.
+        threshold = _INF
+        cutoff = None  # running (M+1)-th smallest key
+        for i in range(n_runs):
+            run = runs[i]
+            bi = pointers[i]
+            if bi >= run.num_blocks:
+                continue
+            block = machine.read_block(run, bi, copy=False)
+            blk_len = len(block)
+            start = bisect.bisect_right(block, last_v) if last_v is not None else 0
+            end = (
+                blk_len
+                if cutoff is None
+                else bisect.bisect_right(block, cutoff, start)
+            )
+            if end <= start:
+                continue
+            if start == 0 and end == blk_len:
+                seg = [(rec, i, False) for rec in block]
+                seg[-1] = (block[-1], i, True)
+            else:
+                last_pos = blk_len - 1
+                seg = [(block[pos], i, pos == last_pos) for pos in range(start, end)]
+            items.extend(seg)
+            if len(items) >= phase1_margin:
+                items.sort()
+                del items[M + 1 :]
+                cutoff = items[-1][0]
+        items.sort()
+        if len(items) > M:
+            threshold = items[M][0]
+            del items[M:]
+        if not items:
+            raise StrandingDetected(
+                "merge round admitted no records with "
+                f"{n - written} unwritten: the paper-literal filter stranded "
+                "them (see the module docstring erratum)"
+            )
+        # ---- phase 2: bulk-drain up to each block boundary -------------
+        while items:
+            idx = 0
+            n_items = len(items)
+            while idx < n_items and not items[idx][2]:
+                idx += 1
+            if idx == n_items:
+                # no boundary entry left: drain the whole queue
+                out.extend([e[0] for e in items])
+                written += n_items
+                last_v = items[-1][0]
+                items.clear()
+                break
+            batch = items[: idx + 1]
+            del items[: idx + 1]
+            out.extend([e[0] for e in batch])
+            written += len(batch)
+            last_v, i, _ = batch[-1]
+            pointers[i] += 1
+            process_block(i)
 
     guard.release(footprint)
     return out.close()

@@ -29,6 +29,7 @@ import random
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
 from .em_utils import em_two_way_mergesort
+from .kernels import SLOW_REFERENCE, resolve_kernel
 from .selection_sort import selection_sort
 
 #: Over-sampling multiplier (the paper's Theta(l log n0) constant).
@@ -43,6 +44,7 @@ def aem_samplesort(
     guard: MemoryGuard | None = None,
     sample_factor: int = SAMPLE_FACTOR,
     splitters: str = "random",
+    kernel: str | None = None,
 ) -> ExtArray:
     """Sort ``arr`` with the §4.2 sample sort; ``k = 1`` is the classic EM
     distribution sort.  Returns a new sorted :class:`ExtArray`.
@@ -77,6 +79,7 @@ def aem_samplesort(
         n0=max(arr.length, 2),
         sf=sample_factor,
         deterministic=splitters == "deterministic",
+        kernel=resolve_kernel(kernel),
     )
 
 
@@ -89,12 +92,13 @@ def _sort(
     n0: int,
     sf: int = SAMPLE_FACTOR,
     deterministic: bool = False,
+    kernel: str = "vectorized",
 ) -> ExtArray:
     params = machine.params
     n = arr.length
 
     if n <= k * params.M:
-        return selection_sort(machine, arr, guard=guard)
+        return selection_sort(machine, arr, guard=guard, kernel=kernel)
 
     # fanout: full l = kM/B, except near the bottom of the recursion
     if n <= (k * params.M) ** 2 / params.B:
@@ -103,12 +107,13 @@ def _sort(
         l = params.fanout(k)
 
     if deterministic:
-        splitters = _choose_splitters_deterministic(machine, arr, l)
+        splitters = _choose_splitters_deterministic(machine, arr, l, kernel=kernel)
     else:
-        splitters = _choose_splitters(machine, arr, l, rng, n0, sf=sf)
-    buckets = _partition(machine, arr, splitters, k, guard)
+        splitters = _choose_splitters(machine, arr, l, rng, n0, sf=sf, kernel=kernel)
+    buckets = _partition(machine, arr, splitters, k, guard, kernel=kernel)
     sorted_buckets = [
-        _sort(machine, b, k, rng, guard, n0, sf=sf, deterministic=deterministic)
+        _sort(machine, b, k, rng, guard, n0, sf=sf, deterministic=deterministic,
+              kernel=kernel)
         for b in buckets
     ]
     return machine.concat(sorted_buckets, name="samplesort-out")
@@ -124,6 +129,7 @@ def _choose_splitters(
     rng: random.Random,
     n0: int,
     sf: int = SAMPLE_FACTOR,
+    kernel: str = "vectorized",
 ) -> list:
     """Sample, sort externally, sub-select ``l - 1`` evenly spaced keys."""
     n = arr.length
@@ -133,7 +139,6 @@ def _choose_splitters(
     # block containing several samples is read once.
     positions = sorted(rng.sample(range(n), m))
     sample_writer = machine.writer(name="sample")
-    B = machine.params.B
     # positions -> (block, offset); arr may contain partial blocks, so walk
     # blocks in order tracking the running record offset.
     pos_iter = iter(positions)
@@ -147,28 +152,55 @@ def _choose_splitters(
             offset += blk_len
             continue
         block = machine.read_block(arr, bi, copy=False)
-        while want is not None and want < offset + blk_len:
-            sample_writer.append(block[want - offset])
-            want = next(pos_iter, None)
+        if kernel == SLOW_REFERENCE:
+            while want is not None and want < offset + blk_len:
+                sample_writer.append(block[want - offset])
+                want = next(pos_iter, None)
+        else:
+            picks = []
+            while want is not None and want < offset + blk_len:
+                picks.append(block[want - offset])
+                want = next(pos_iter, None)
+            sample_writer.extend(picks)
         offset += blk_len
-    sample = em_two_way_mergesort(machine, sample_writer.close())
+    sample = em_two_way_mergesort(machine, sample_writer.close(), kernel=kernel)
 
     # sub-select every (m/l)-th record as a splitter
     step = max(1, m // l)
     targets = [i * step for i in range(1, l) if i * step < m]
-    splitters: list = []
+    return _select_positions(machine, sample, targets, kernel=kernel)
+
+
+def _select_positions(
+    machine: AEMachine, arr: ExtArray, targets: list[int], kernel: str
+) -> list:
+    """Scan the whole of ``arr`` (charging every block) and return the
+    records at the given sorted positions."""
+    if kernel == SLOW_REFERENCE:
+        out: list = []
+        ti = 0
+        idx = 0
+        for rec in machine.scan(arr):
+            if ti < len(targets) and idx == targets[ti]:
+                out.append(rec)
+                ti += 1
+            idx += 1
+        return out
+    # block-granular: offset arithmetic instead of a per-record index walk
+    out = []
     ti = 0
-    idx = 0
-    for rec in machine.scan(sample):
-        if ti < len(targets) and idx == targets[ti]:
-            splitters.append(rec)
+    offset = 0
+    for block in machine.scan_blocks(arr):
+        end = offset + len(block)
+        while ti < len(targets) and targets[ti] < end:
+            out.append(block[targets[ti] - offset])
             ti += 1
-        idx += 1
-    return splitters
+        offset = end
+    return out
 
 
 def _choose_splitters_deterministic(
-    machine: AEMachine, arr: ExtArray, l: int
+    machine: AEMachine, arr: ExtArray, l: int, kernel: str = "vectorized"
 ) -> list:
     """Aggarwal–Vitter-style deterministic splitters (§4.2's closing remark).
 
@@ -187,31 +219,37 @@ def _choose_splitters_deterministic(
     sample_writer = machine.writer(name="det-sample")
     chunk: list = []
 
-    def flush_chunk() -> None:
-        if not chunk:
+    def flush_chunk(part: list) -> None:
+        if not part:
             return
-        chunk.sort()  # in primary memory: free
-        for idx in range(stride - 1, len(chunk), stride):
-            sample_writer.append(chunk[idx])
-        chunk.clear()
+        part.sort()  # in primary memory: free
+        if kernel == SLOW_REFERENCE:
+            for idx in range(stride - 1, len(part), stride):
+                sample_writer.append(part[idx])
+        else:
+            sample_writer.extend(part[stride - 1 :: stride])
 
-    for rec in machine.scan(arr):
-        chunk.append(rec)
-        if len(chunk) == params.M:
-            flush_chunk()
-    flush_chunk()
-    sample = em_two_way_mergesort(machine, sample_writer.close())
+    if kernel == SLOW_REFERENCE:
+        for rec in machine.scan(arr):
+            chunk.append(rec)
+            if len(chunk) == params.M:
+                flush_chunk(chunk)
+                chunk = []
+    else:
+        for block in machine.scan_blocks(arr):
+            chunk.extend(block)
+            while len(chunk) >= params.M:
+                flush_chunk(chunk[: params.M])
+                del chunk[: params.M]
+    flush_chunk(chunk)
+    sample = em_two_way_mergesort(machine, sample_writer.close(), kernel=kernel)
 
     m = sample.length
     if m == 0:
         return []
     step = max(1, m // l)
-    targets = {i * step for i in range(1, l) if i * step < m}
-    splitters: list = []
-    for idx, rec in enumerate(machine.scan(sample)):
-        if idx in targets:
-            splitters.append(rec)
-    return splitters
+    targets = [i * step for i in range(1, l) if i * step < m]
+    return _select_positions(machine, sample, targets, kernel=kernel)
 
 
 # ---------------------------------------------------------------------- #
@@ -223,6 +261,7 @@ def _partition(
     splitters: list,
     k: int,
     guard: MemoryGuard,
+    kernel: str = "vectorized",
 ) -> list[ExtArray]:
     """Distribute ``arr`` into ``len(splitters) + 1`` buckets.
 
@@ -230,6 +269,11 @@ def _partition(
     input and writes only the records of that round's buckets, keeping one
     partial block per bucket in memory (Theorem 4.5's memory budget
     ``M + B + M/B``).
+
+    The vectorized kernel distributes a whole scanned block at a time:
+    records are routed into per-bucket staging lists (``bisect`` against the
+    round's splitters) and flushed with one ``extend`` per bucket per block
+    — same writer contents, same charges, no per-record dispatch.
     """
     params = machine.params
     n_buckets = len(splitters) + 1
@@ -249,18 +293,67 @@ def _partition(
             for j in range(last_bucket - first_bucket)
         ]
         round_splitters = splitters[first_bucket : last_bucket - 1]
-        for rec in machine.scan(arr):
-            if lo is not None and rec < lo:
-                continue
-            if hi is not None and rec >= hi:
-                continue
-            j = bisect.bisect_right(round_splitters, rec)
-            writers[j].append(rec)
+        if kernel == SLOW_REFERENCE:
+            for rec in machine.scan(arr):
+                if lo is not None and rec < lo:
+                    continue
+                if hi is not None and rec >= hi:
+                    continue
+                j = bisect.bisect_right(round_splitters, rec)
+                writers[j].append(rec)
+        else:
+            _distribute_blocks(
+                machine.scan_blocks(arr), writers, round_splitters, lo, hi
+            )
         for j, w in enumerate(writers):
             buckets[first_bucket + j] = w.close()
 
     guard.release(footprint)
     return [b for b in buckets if b.length > 0]
+
+
+def _distribute_blocks(blocks, writers, round_splitters, lo, hi) -> None:
+    """Route every record of ``blocks`` within ``[lo, hi)`` to its bucket
+    writer.
+
+    Staging keeps one in-memory partial block per bucket — exactly the
+    paper's "one partial block per bucket" budget — and flushes a bucket
+    with one cost-equivalent ``extend`` whenever its staged records reach a
+    full block, so writer dispatch is per *block*, not per record.
+    """
+    n_writers = len(writers)
+    if n_writers == 1:
+        # single bucket (degenerate splitter range): pure filtered append
+        w = writers[0]
+        for block in blocks:
+            if lo is None and hi is None:
+                w.extend(block)
+            else:
+                w.extend(
+                    [r for r in block
+                     if (lo is None or r >= lo) and (hi is None or r < hi)]
+                )
+        return
+    B = writers[0].machine.params.B
+    staging: list[list] = [[] for _ in range(n_writers)]
+    bisect_right = bisect.bisect_right
+    no_bounds = lo is None and hi is None
+    for block in blocks:
+        for rec in block:
+            if not no_bounds:
+                if lo is not None and rec < lo:
+                    continue
+                if hi is not None and rec >= hi:
+                    continue
+            j = bisect_right(round_splitters, rec)
+            chunk = staging[j]
+            chunk.append(rec)
+            if len(chunk) == B:
+                writers[j].extend(chunk)
+                staging[j] = []
+    for j in range(n_writers):
+        if staging[j]:
+            writers[j].extend(staging[j])
 
 
 # ---------------------------------------------------------------------- #

@@ -46,6 +46,7 @@ import bisect
 import math
 
 from ..models.external_memory import AEMachine, BlockWriter, ExtArray
+from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
 
 
 class _Node:
@@ -81,13 +82,18 @@ class BufferTree:
     k:
         The extra branching factor (``l = k * M / B``); ``k = 1`` recovers
         Arge's original parameters.
+    kernel:
+        ``"vectorized"`` (default) drains and distributes buffers in
+        block-granular slices; ``"slow_reference"`` is the record-at-a-time
+        original.  Identical structure, contents and counters either way.
     """
 
-    def __init__(self, machine: AEMachine, k: int = 1):
+    def __init__(self, machine: AEMachine, k: int = 1, *, kernel: str | None = None):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.machine = machine
         self.k = k
+        self.kernel = resolve_kernel(kernel)
         params = machine.params
         self.l = params.fanout(k)
         if self.l < 4:
@@ -100,6 +106,8 @@ class BufferTree:
         self.root = _Node(is_leaf=True)
         self.size = 0  # net size: inserts minus (assumed-valid) deletes
         self._seq = 0  # global operation sequence number
+        #: sticky: any delete op ever buffered (gates the bulk leaf merge)
+        self._has_deletes = False
         # the root's partial buffer block stays in memory (Theorem 4.7)
         self._root_writer: BlockWriter | None = None
         # statistics
@@ -150,6 +158,7 @@ class BufferTree:
         insert); violating that raises ``KeyError`` when the operation
         reaches its leaf.
         """
+        self._has_deletes = True
         self._append_op(key, is_delete=True)
         self.size -= 1
 
@@ -161,8 +170,33 @@ class BufferTree:
             self._cascade_from(self.root)
 
     def insert_many(self, keys) -> None:
-        for key in keys:
-            self.insert(key)
+        """Insert many keys, batching the root-buffer appends.
+
+        The vectorized path stages up to ``buffer_limit - buffer_count``
+        operations at a time and appends them with one ``extend`` (identical
+        block layout and charges), cascading at exactly the record where the
+        record-at-a-time path would.
+        """
+        if self.kernel == SLOW_REFERENCE:
+            for key in keys:
+                self.insert(key)
+            return
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        pos = 0
+        total = len(keys)
+        while pos < total:
+            room = self.buffer_limit - self.root.buffer_count
+            take = max(1, min(room, total - pos))
+            seq = self._seq
+            ops = [(key, seq + j, False) for j, key in enumerate(keys[pos : pos + take])]
+            self._root_buffer_writer().extend(ops)
+            self._seq += take
+            self.root.buffer_count += take
+            self.size += take
+            pos += take
+            if self.root.buffer_count >= self.buffer_limit:
+                self._cascade_from(self.root)
 
     # ------------------------------------------------------------------ #
     # the two-phase emptying cascade (§4.3.1)
@@ -190,6 +224,8 @@ class BufferTree:
         the tail is a ready sorted run.  The two runs are merged on the fly.
         Afterwards the buffer is discarded.
         """
+        if self.kernel != SLOW_REFERENCE:
+            return _flatten(self._drain_buffer_sorted_blocks(node))
         buf = node.buffer
         node.buffer = None
         count = node.buffer_count
@@ -201,6 +237,27 @@ class BufferTree:
         tail = _skip_stream(self.machine, buf, prefix_len)
         return _merge_streams(self.machine.scan(sorted_prefix), tail)
 
+    def _drain_buffer_sorted_blocks(self, node: _Node):
+        """Block-granular :meth:`_drain_buffer_sorted`: yield sorted *chunks*
+        whose concatenation is the sorted buffer — same charges (the prefix
+        sort reads/writes the same blocks; the tail blocks are read once)."""
+        from .em_utils import merge_sorted_block_streams
+
+        buf = node.buffer
+        node.buffer = None
+        count = node.buffer_count
+        node.buffer_count = 0
+        if buf is None or count == 0:
+            return iter(())
+        prefix_len = min(count, self.buffer_limit)
+        sorted_prefix = _external_prefix_sort(
+            self.machine, buf, prefix_len, kernel=self.kernel
+        )
+        tail = _skip_stream_blocks(self.machine, buf, prefix_len)
+        return merge_sorted_block_streams(
+            self.machine.scan_blocks(sorted_prefix), tail
+        )
+
     def _empty_internal(
         self, node: _Node, full_internal: list[_Node], full_leaves: list[_Node]
     ) -> None:
@@ -208,21 +265,50 @@ class BufferTree:
         children in sorted order (Lemma 4.6)."""
         self.emptyings += 1
         self._charge_node_read(node)
-        stream = self._drain_buffer_sorted(node)
 
         writers: list[BlockWriter | None] = [None] * len(node.children)
-        idx = 0  # current child under the sorted sweep
-        for entry in stream:
-            key = entry[0]
-            while idx < len(node.keys) and key >= node.keys[idx]:
-                idx += 1
-            child = node.children[idx]
-            if writers[idx] is None:
+
+        def writer_for(idx: int) -> BlockWriter:
+            w = writers[idx]
+            if w is None:
+                child = node.children[idx]
                 if child.buffer is None:
                     child.buffer = self.machine.allocate("buf")
-                writers[idx] = BlockWriter(self.machine, child.buffer)
-            writers[idx].append(entry)
-            child.buffer_count += 1
+                w = writers[idx] = BlockWriter(self.machine, child.buffer)
+            return w
+
+        if self.kernel == SLOW_REFERENCE:
+            stream = self._drain_buffer_sorted(node)
+            idx = 0  # current child under the sorted sweep
+            for entry in stream:
+                key = entry[0]
+                while idx < len(node.keys) and key >= node.keys[idx]:
+                    idx += 1
+                writer_for(idx).append(entry)
+                node.children[idx].buffer_count += 1
+        else:
+            # block-granular sweep: each sorted chunk is split into per-child
+            # segments at the router keys (bisect over the chunk's keys) and
+            # each segment lands with one cost-equivalent extend
+            routers = node.keys
+            n_routers = len(routers)
+            idx = 0
+            for chunk in self._drain_buffer_sorted_blocks(node):
+                keys = [entry[0] for entry in chunk]
+                pos = 0
+                n_chunk = len(chunk)
+                while pos < n_chunk:
+                    key = keys[pos]
+                    while idx < n_routers and key >= routers[idx]:
+                        idx += 1
+                    if idx == n_routers:
+                        end = n_chunk
+                    else:
+                        end = bisect.bisect_left(keys, routers[idx], pos)
+                    segment = chunk if pos == 0 and end == n_chunk else chunk[pos:end]
+                    writer_for(idx).extend(segment)
+                    node.children[idx].buffer_count += end - pos
+                    pos = end
         for w in writers:
             if w is not None:
                 w.close()
@@ -239,15 +325,37 @@ class BufferTree:
         """Apply a leaf's buffered operations to its sorted payload; split if
         the payload exceeds ``lB`` (phase 2 of §4.3.1)."""
         self.emptyings += 1
-        stream = self._drain_buffer_sorted(leaf)
-        existing = (
-            self.machine.scan(leaf.elements) if leaf.elements is not None else iter(())
-        )
         merged_writer = self.machine.writer(name="leafmerge")
-        total = 0
-        for key in self._apply_ops(stream, existing):
-            merged_writer.append(key)
-            total += 1
+        if self.kernel == SLOW_REFERENCE:
+            stream = self._drain_buffer_sorted(leaf)
+            existing = (
+                self.machine.scan(leaf.elements)
+                if leaf.elements is not None
+                else iter(())
+            )
+            total = 0
+            for key in self._apply_ops(stream, existing):
+                merged_writer.append(key)
+                total += 1
+        elif not self._has_deletes:
+            # insert-only tree (the heapsort / pure-ingest case): the op
+            # stream is just sorted keys, so the leaf merge is a bulk
+            # two-stream chunk merge with the same KeyError-on-duplicate
+            # detection at the segment boundaries
+            total = self._merge_leaf_bulk(leaf, merged_writer)
+        else:
+            # general deletions: the op/payload merge is inherently
+            # sequential (per-key delete / annihilation semantics), but the
+            # surviving keys land in one batch
+            stream = self._drain_buffer_sorted(leaf)
+            existing = (
+                self.machine.scan(leaf.elements)
+                if leaf.elements is not None
+                else iter(())
+            )
+            surviving = list(self._apply_ops(stream, existing))
+            merged_writer.extend(surviving)
+            total = len(surviving)
         merged = merged_writer.close()
         leaf.elements = None
         leaf.element_count = 0
@@ -257,6 +365,43 @@ class BufferTree:
             leaf.element_count = total
             return
         self._split_leaf(leaf, merged, total)
+
+    def _merge_leaf_bulk(self, leaf: _Node, out_writer: BlockWriter) -> int:
+        """Insert-only leaf emptying: bulk merge of op keys with the payload.
+
+        Materialises the payload run and the (already key-sorted) op-key run
+        and lets one C-level sort merge them (timsort detects the two runs
+        and gallops).  Preserves :meth:`_apply_ops` semantics for the
+        insert-only case — ``KeyError`` on a duplicate insert (against the
+        payload or between two buffered inserts), reported at the smallest
+        offending key, which in key order is the first the reference would
+        hit.  Returns the merged record count.
+        """
+        merged: list = []
+        if leaf.elements is not None:
+            for block in self.machine.scan_blocks(leaf.elements):
+                merged.extend(block)
+        n_payload = len(merged)
+        for chunk in self._drain_buffer_sorted_blocks(leaf):
+            merged.extend([entry[0] for entry in chunk])
+        had_ops = len(merged) > n_payload
+        if had_ops and n_payload:
+            merged.sort()  # two sorted runs: C-level galloping merge
+        if had_ops and len(merged) > 1:
+            # duplicate-insert detection: the payload is strictly increasing
+            # by invariant, so any duplicate involves an op key
+            try:
+                distinct = len(set(merged)) == len(merged)
+            except TypeError:  # unhashable keys: pairwise scan instead
+                distinct = all(x < y for x, y in zip(merged, merged[1:]))
+            if not distinct:
+                prev = merged[0]
+                for key in merged[1:]:
+                    if key == prev:
+                        raise KeyError(f"duplicate insert of key {key!r}")
+                    prev = key
+        out_writer.extend(merged)
+        return len(merged)
 
     def _apply_ops(self, ops, payload):
         """Merge an op stream (sorted by ``(key, seq)``) with a sorted key
@@ -307,21 +452,47 @@ class BufferTree:
 
         new_leaves: list[_Node] = []
         routers: list = []
-        stream = self.machine.scan(merged)
-        for size in sizes:
-            piece = _Node(is_leaf=True)
-            w = self.machine.writer(name="leaf")
-            first = None
-            for _ in range(size):
-                key = next(stream)
-                if first is None:
-                    first = key
-                w.append(key)
-            piece.elements = w.close()
-            piece.element_count = size
-            if new_leaves:
-                routers.append(first)
-            new_leaves.append(piece)
+        if self.kernel == SLOW_REFERENCE:
+            stream = self.machine.scan(merged)
+            for size in sizes:
+                piece = _Node(is_leaf=True)
+                w = self.machine.writer(name="leaf")
+                first = None
+                for _ in range(size):
+                    key = next(stream)
+                    if first is None:
+                        first = key
+                    w.append(key)
+                piece.elements = w.close()
+                piece.element_count = size
+                if new_leaves:
+                    routers.append(first)
+                new_leaves.append(piece)
+        else:
+            chunks = self.machine.scan_blocks(merged)
+            cur: list = []
+            pos = 0
+            for size in sizes:
+                piece = _Node(is_leaf=True)
+                w = self.machine.writer(name="leaf")
+                first = None
+                need = size
+                while need:
+                    if pos >= len(cur):
+                        cur = next(chunks)
+                        pos = 0
+                    take = min(need, len(cur) - pos)
+                    seg = cur if pos == 0 and take == len(cur) else cur[pos : pos + take]
+                    if first is None:
+                        first = seg[0]
+                    w.extend(seg)
+                    pos += take
+                    need -= take
+                piece.elements = w.close()
+                piece.element_count = size
+                if new_leaves:
+                    routers.append(first)
+                new_leaves.append(piece)
 
         parent = self._find_parent(self.root, leaf)
         if parent is None:
@@ -526,7 +697,11 @@ class BufferTree:
             leaf = self.pop_leftmost_leaf()
             if leaf is None:
                 break
-            yield from self.machine.scan(leaf)
+            if self.kernel == SLOW_REFERENCE:
+                yield from self.machine.scan(leaf)
+            else:
+                for block in self.machine.scan_blocks(leaf):
+                    yield from block
 
     def io_stats(self) -> dict:
         """Structural counters for reports: emptyings, splits, annihilations."""
@@ -555,7 +730,9 @@ class BufferTree:
 # ---------------------------------------------------------------------- #
 # streaming helpers
 # ---------------------------------------------------------------------- #
-def _external_prefix_sort(machine: AEMachine, buf: ExtArray, prefix_len: int) -> ExtArray:
+def _external_prefix_sort(
+    machine: AEMachine, buf: ExtArray, prefix_len: int, kernel: str = SLOW_REFERENCE
+) -> ExtArray:
     """Lemma 4.2 selection sort over the first ``prefix_len`` records of
     ``buf`` (repeated scans of the prefix region; output written once)."""
     import heapq
@@ -564,28 +741,41 @@ def _external_prefix_sort(machine: AEMachine, buf: ExtArray, prefix_len: int) ->
     out = machine.writer(name="bufsort")
     emitted = 0
     last_max = None
+    M = params.M
     while emitted < prefix_len:
-        working: list = []
-        seen = 0
-        for bi in range(buf.num_blocks):
-            if seen >= prefix_len:
-                break
-            block = machine.read_block(buf, bi, copy=False)
-            for rec in block:
+        if kernel == SLOW_REFERENCE:
+            working: list = []
+            seen = 0
+            for bi in range(buf.num_blocks):
                 if seen >= prefix_len:
                     break
-                seen += 1
-                if last_max is not None and rec <= last_max:
+                if not buf._blocks[bi]:  # empty placeholder: no transfer
                     continue
-                if len(working) < params.M:
-                    heapq.heappush(working, _NegKey(rec))
-                elif rec < working[0].value:
-                    heapq.heapreplace(working, _NegKey(rec))
-        batch = sorted(item.value for item in working)
+                block = machine.read_block(buf, bi, copy=False)
+                for rec in block:
+                    if seen >= prefix_len:
+                        break
+                    seen += 1
+                    if last_max is not None and rec <= last_max:
+                        continue
+                    if len(working) < M:
+                        heapq.heappush(working, _NegKey(rec))
+                    elif rec < working[0].value:
+                        heapq.heapreplace(working, _NegKey(rec))
+            batch = sorted(item.value for item in working)
+        else:
+            # block-granular selection phase: the shared bounded kernel
+            # over the (truncated) prefix blocks — exact M-smallest multiset
+            batch = take_smallest(
+                _prefix_blocks(machine, buf, prefix_len), M, lo=last_max
+            )
         if not batch:
             raise AssertionError("prefix sort stalled")
-        for rec in batch:
-            out.append(rec)
+        if kernel == SLOW_REFERENCE:
+            for rec in batch:
+                out.append(rec)
+        else:
+            out.extend(batch)
         emitted += len(batch)
         last_max = batch[-1]
     return out.close()
@@ -599,6 +789,23 @@ class _NegKey:
 
     def __lt__(self, other: "_NegKey") -> bool:
         return self.value > other.value
+
+
+def _prefix_blocks(machine: AEMachine, arr: ExtArray, prefix_len: int):
+    """Yield the blocks covering ``arr``'s first ``prefix_len`` records
+    (straddling block truncated), charging one read per block — the same
+    blocks the reference's per-record prefix scan reads."""
+    seen = 0
+    for bi in range(arr.num_blocks):
+        if seen >= prefix_len:
+            break
+        if not arr._blocks[bi]:  # empty placeholder: nothing to transfer
+            continue
+        block = machine.read_block(arr, bi, copy=False)
+        if seen + len(block) > prefix_len:
+            block = block[: prefix_len - seen]
+        seen += len(block)
+        yield block
 
 
 def _skip_stream(machine: AEMachine, arr: ExtArray, skip: int):
@@ -618,6 +825,28 @@ def _skip_stream(machine: AEMachine, arr: ExtArray, skip: int):
         for rec in block[start:]:
             yield rec
         offset += blk_len
+
+
+def _skip_stream_blocks(machine: AEMachine, arr: ExtArray, skip: int):
+    """Block-granular :func:`_skip_stream`: yield the non-empty suffix of
+    each block past the skipped prefix (same blocks read, same charges)."""
+    offset = 0
+    for bi in range(arr.num_blocks):
+        blk_len = len(arr._blocks[bi])
+        if offset + blk_len <= skip:
+            offset += blk_len
+            continue
+        block = machine.read_block(arr, bi, copy=False)
+        start = max(0, skip - offset)
+        if start < blk_len:
+            yield block[start:] if start else block
+        offset += blk_len
+
+
+def _flatten(chunks):
+    """Flatten an iterator of lists into a record stream."""
+    for chunk in chunks:
+        yield from chunk
 
 
 def _merge_streams(a, b):

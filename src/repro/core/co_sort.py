@@ -77,9 +77,11 @@ def _phase(recorder: PhaseRecorder | None, name: str):
 def _sort(cache: CacheSim, arr, omega: int, recorder: PhaseRecorder | None) -> None:
     n = len(arr)
     if n <= max(_BASE, 4 * omega):
-        vals = sorted(arr[i] for i in range(n))
-        for i, v in enumerate(vals):
-            arr[i] = v
+        # block-granular base case: one bulk read scan, sort in cache (free),
+        # one bulk write scan — identical accesses to the per-element loops
+        vals = arr.read_range(0, n)
+        vals.sort()
+        arr.write_range(0, vals)
         return
 
     log_n = max(1, math.ceil(math.log2(n)))

@@ -6,15 +6,26 @@ mergesort the paper invokes for *sample* sorting inside the AEM sample sort
 O(((l log n0)/B) log(l log n0 / M)) reads and writes").  It is deliberately
 the textbook algorithm: run formation by in-memory sorting of M-record
 chunks, then repeated pairwise streaming merges.
+
+Both kernel modes are provided (see :mod:`repro.core.kernels`): the
+vectorized path forms runs from whole scanned blocks and merges two runs by
+slicing maximal non-crossing segments with ``bisect`` instead of comparing
+record pairs one at a time.  Charges and output blocks are identical.
 """
 
 from __future__ import annotations
 
+import bisect
+
 from ..models.external_memory import AEMachine, ExtArray
+from .kernels import SLOW_REFERENCE, resolve_kernel
 
 
-def em_two_way_mergesort(machine: AEMachine, arr: ExtArray) -> ExtArray:
+def em_two_way_mergesort(
+    machine: AEMachine, arr: ExtArray, *, kernel: str | None = None
+) -> ExtArray:
     """Two-way external mergesort: O((n/B)(1 + log2(n/M))) reads and writes."""
+    slow = resolve_kernel(kernel) == SLOW_REFERENCE
     params = machine.params
     n = arr.length
     if n == 0:
@@ -23,33 +34,124 @@ def em_two_way_mergesort(machine: AEMachine, arr: ExtArray) -> ExtArray:
     # --- run formation: sort M-record chunks in memory ------------------ #
     runs: list[ExtArray] = []
     buf: list = []
-    writer = None
-    for rec in machine.scan(arr):
-        buf.append(rec)
-        if len(buf) == params.M:
-            writer = machine.writer(name="run")
-            writer.extend(sorted(buf))
-            runs.append(writer.close())
-            buf = []
+    if slow:
+        for rec in machine.scan(arr):
+            buf.append(rec)
+            if len(buf) == params.M:
+                writer = machine.writer(name="run")
+                writer.extend(sorted(buf))
+                runs.append(writer.close())
+                buf = []
+    else:
+        for block in machine.scan_blocks(arr):
+            buf.extend(block)
+            while len(buf) >= params.M:
+                writer = machine.writer(name="run")
+                writer.extend(sorted(buf[: params.M]))
+                runs.append(writer.close())
+                del buf[: params.M]
     if buf:
         writer = machine.writer(name="run")
         writer.extend(sorted(buf))
         runs.append(writer.close())
 
     # --- pairwise merge passes ------------------------------------------ #
+    merge = _merge_two_slow if slow else _merge_two
     while len(runs) > 1:
         next_runs: list[ExtArray] = []
         for i in range(0, len(runs), 2):
             if i + 1 == len(runs):
                 next_runs.append(runs[i])
                 continue
-            next_runs.append(_merge_two(machine, runs[i], runs[i + 1]))
+            next_runs.append(merge(machine, runs[i], runs[i + 1]))
         runs = next_runs
     return runs[0]
 
 
 def _merge_two(machine: AEMachine, a: ExtArray, b: ExtArray) -> ExtArray:
-    """Streaming merge of two sorted runs (one block of each in memory)."""
+    """Block-wise streaming merge of two sorted runs.
+
+    Instead of advancing one record per comparison, each step locates (via
+    ``bisect``) the maximal segment of the current block that precedes the
+    other stream's head and emits it with one ``extend`` — ties go to ``a``,
+    matching the reference's ``va <= vb`` rule, so outputs are identical.
+    """
+    out = machine.writer(name="merge2-out")
+    ita = machine.scan_blocks(a)
+    itb = machine.scan_blocks(b)
+    blka = next(ita, None)
+    blkb = next(itb, None)
+    ia = ib = 0
+    while blka is not None and blkb is not None:
+        # all of a's remaining records <= b's head: emit them in one slice
+        head_b = blkb[ib]
+        j = bisect.bisect_right(blka, head_b, ia)
+        if j > ia:
+            out.extend(blka if ia == 0 and j == len(blka) else blka[ia:j])
+            ia = j
+            if ia >= len(blka):
+                blka = next(ita, None)
+                ia = 0
+            continue
+        # blka[ia] > head_b: emit b's records strictly below a's head
+        head_a = blka[ia]
+        j = bisect.bisect_left(blkb, head_a, ib)
+        out.extend(blkb if ib == 0 and j == len(blkb) else blkb[ib:j])
+        ib = j
+        if ib >= len(blkb):
+            blkb = next(itb, None)
+            ib = 0
+    while blka is not None:
+        out.extend(blka[ia:] if ia else blka)
+        blka = next(ita, None)
+        ia = 0
+    while blkb is not None:
+        out.extend(blkb[ib:] if ib else blkb)
+        blkb = next(itb, None)
+        ib = 0
+    return out.close()
+
+
+def merge_sorted_block_streams(ita, itb):
+    """Merge two streams of sorted, key-ordered *chunks* into merged chunks.
+
+    ``ita`` / ``itb`` yield non-empty lists whose concatenation is sorted;
+    the output yields lists whose concatenation is the sorted merge (ties go
+    to ``ita``, the ``va <= vb`` rule).  Pure in-memory plumbing — no
+    machine, no charges — shared by the vectorized buffer-tree drains.
+    """
+    blka = next(ita, None)
+    blkb = next(itb, None)
+    ia = ib = 0
+    while blka is not None and blkb is not None:
+        head_b = blkb[ib]
+        j = bisect.bisect_right(blka, head_b, ia)
+        if j > ia:
+            yield blka if ia == 0 and j == len(blka) else blka[ia:j]
+            ia = j
+            if ia >= len(blka):
+                blka = next(ita, None)
+                ia = 0
+            continue
+        head_a = blka[ia]
+        j = bisect.bisect_left(blkb, head_a, ib)
+        yield blkb if ib == 0 and j == len(blkb) else blkb[ib:j]
+        ib = j
+        if ib >= len(blkb):
+            blkb = next(itb, None)
+            ib = 0
+    while blka is not None:
+        yield blka[ia:] if ia else blka
+        blka = next(ita, None)
+        ia = 0
+    while blkb is not None:
+        yield blkb[ib:] if ib else blkb
+        blkb = next(itb, None)
+        ib = 0
+
+
+def _merge_two_slow(machine: AEMachine, a: ExtArray, b: ExtArray) -> ExtArray:
+    """Record-at-a-time reference merge (parity baseline)."""
     out = machine.writer(name="merge2-out")
     ra, rb = machine.reader(a), machine.reader(b)
     ita = ra.records()

@@ -1,0 +1,124 @@
+"""Kernel-mode registry: vectorized block kernels vs the record-at-a-time
+reference implementations.
+
+The paper's algorithms are *defined* in block transfers, but the original
+implementations execute them record-at-a-time: ``machine.scan`` yields one
+record per iteration, ``BlockWriter.append`` is called once per record, and
+the cost counter is touched on every block event.  On a real interpreter that
+makes simulated wall-clock a function of Python dispatch overhead, not of the
+algorithms.  The *vectorized* kernels move whole blocks — ``scan_blocks`` /
+``BlockWriter.extend`` / ``extend_blocks`` — partition and merge with
+``bisect`` over sorted blocks, and charge the counter in batches
+(:meth:`repro.models.counters.CostCounter.charge_reads` /
+:meth:`~repro.models.counters.CostCounter.charge_writes`).
+
+Vectorization is required to be **I/O-invisible**: for every algorithm the
+vectorized path must produce byte-identical output blocks and *exactly* the
+same ``reads`` / ``writes`` / ``cost`` tallies as the record-at-a-time path,
+because the counters are the paper's claim.  The original implementations are
+therefore kept, verbatim, behind the ``"slow_reference"`` mode, and the
+parity suite (``tests/test_kernel_parity.py``) pins the two modes against
+each other on outputs and counters.
+
+Selecting a mode
+----------------
+Every sort entry point takes ``kernel=None`` which resolves against the
+process-wide default (``"vectorized"``):
+
+>>> from repro.core.kernels import kernel_mode, set_default_kernel
+>>> with kernel_mode("slow_reference"):
+...     report = engine.sort(data)          # record-at-a-time everywhere
+>>> set_default_kernel("vectorized")        # the default
+
+The mode is deliberately a plain module global (not thread-local): the AEM
+machine is a single-threaded simulation, and benchmark harnesses flip the
+whole process between modes to measure the kernel layer itself.  A module
+global does not cross a ``fork``/``spawn`` on its own, so the process-pool
+executors ship the submitting process's default along explicitly —
+``run_sharded`` passes it to every ``execute_shard`` submission and the
+persistent-worker protocol carries it per job message — which keeps
+``kernel_mode(...)`` A/B measurements honest under ``executor="process"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+#: the block-granular fast path (default)
+VECTORIZED = "vectorized"
+#: the original record-at-a-time implementations, kept for parity testing
+SLOW_REFERENCE = "slow_reference"
+
+_MODES = (VECTORIZED, SLOW_REFERENCE)
+
+_default_kernel = VECTORIZED
+
+
+def get_default_kernel() -> str:
+    """The process-wide kernel mode used when a sort passes ``kernel=None``."""
+    return _default_kernel
+
+
+def set_default_kernel(mode: str) -> str:
+    """Set the process-wide default kernel mode; returns the previous one."""
+    global _default_kernel
+    if mode not in _MODES:
+        raise ValueError(f"unknown kernel mode {mode!r}; choose from {_MODES}")
+    previous = _default_kernel
+    _default_kernel = mode
+    return previous
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Validate an explicit ``kernel=`` argument or fall back to the default."""
+    if kernel is None:
+        return _default_kernel
+    if kernel not in _MODES:
+        raise ValueError(f"unknown kernel mode {kernel!r}; choose from {_MODES}")
+    return kernel
+
+
+@contextlib.contextmanager
+def kernel_mode(mode: str):
+    """Context manager: run a block with the given default kernel mode."""
+    previous = set_default_kernel(mode)
+    try:
+        yield mode
+    finally:
+        set_default_kernel(previous)
+
+
+def take_smallest(blocks, take: int, lo=None) -> list:
+    """The shared bounded-selection kernel: the ``take`` smallest records
+    strictly greater than ``lo`` across an iterable of record lists,
+    returned ascending.
+
+    Per block, the candidate window is filtered with one comprehension;
+    the working set is pruned back to ``take`` (a C-level sort of a mostly
+    sorted list) only when it overflows a half-working-set margin, so the
+    amortized cost is O(log) per surviving candidate and the scratch stays
+    <= 1.5 * ``take`` records.  The result is the exact ``take``-smallest
+    multiset — every record the running cutoff drops provably cannot be
+    among the final ``take`` — matching the record-at-a-time bounded
+    max-heap of the Lemma 4.2 reference implementations.
+    """
+    working: list = []
+    cutoff = None  # the take-th smallest seen so far, once known
+    margin = take + (take >> 1) + 1
+    for block in blocks:
+        if lo is None:
+            cand = block if cutoff is None else [r for r in block if r < cutoff]
+        elif cutoff is None:
+            cand = [r for r in block if r > lo]
+        else:
+            cand = [r for r in block if lo < r < cutoff]
+        if not cand:
+            continue
+        working.extend(cand)
+        if len(working) >= margin:
+            working.sort()
+            del working[take:]
+            cutoff = working[-1]
+    working.sort()
+    del working[take:]
+    return working

@@ -33,7 +33,8 @@ from dataclasses import dataclass, field
 
 from ..models.external_memory import AEMachine, ExtArray
 from ..models.params import MachineParams
-from .aem_samplesort import _choose_splitters
+from .aem_samplesort import _choose_splitters, _distribute_blocks
+from .kernels import SLOW_REFERENCE, resolve_kernel
 from .selection_sort import selection_sort
 
 
@@ -102,10 +103,13 @@ def parallel_samplesort(
     k: int = 1,
     seed: int = 0,
     p: int | None = None,
+    kernel: str | None = None,
 ) -> ParallelSortResult:
     """Sort ``data`` with per-processor accounting on the Private-Cache model.
 
-    ``p`` defaults to the paper's ``n/M`` (at least 1).
+    ``p`` defaults to the paper's ``n/M`` (at least 1).  ``kernel`` picks the
+    block-granular or the record-at-a-time implementation (identical outputs,
+    counters and ledger charges).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -116,7 +120,8 @@ def parallel_samplesort(
     ledger = ProcessorLedger(p=p, omega=params.omega)
     rng = random.Random(seed)
     arr = machine.from_list(data, name="input")
-    out = _sort(machine, ledger, arr, k, rng, n0=max(n, 2), n_root=max(n, 1))
+    out = _sort(machine, ledger, arr, k, rng, n0=max(n, 2), n_root=max(n, 1),
+                kernel=resolve_kernel(kernel))
     return ParallelSortResult(out, ledger, machine)
 
 
@@ -137,12 +142,13 @@ def _sort(
     rng: random.Random,
     n0: int,
     n_root: int,
+    kernel: str = "vectorized",
 ) -> ExtArray:
     params = machine.params
     n = arr.length
 
     if n <= k * params.M:
-        return _parallel_base_case(machine, ledger, arr, k)
+        return _parallel_base_case(machine, ledger, arr, k, kernel=kernel)
 
     if n <= (k * params.M) ** 2 / params.B:
         l = max(2, math.ceil(n / (k * params.M)))
@@ -159,7 +165,7 @@ def _sort(
     # split over the group, and the parallel-mergesort *depth*
     # O(k log^2 n) is a synchronisation charge on each group member.
     before = machine.counter.snapshot()
-    splitters = _choose_splitters(machine, arr, l, rng, n0)
+    splitters = _choose_splitters(machine, arr, l, rng, n0, kernel=kernel)
     delta = machine.counter.snapshot() - before
     sync = k * math.log2(max(n0, 2)) ** 2
     ledger.charge_group(
@@ -187,7 +193,7 @@ def _sort(
                 ledger,
                 proc,
                 lambda c=chunk, f=first, la=last: _partition_range(
-                    machine, c, splitters, f, la
+                    machine, c, splitters, f, la, kernel=kernel
                 ),
             )
             for b, part in parts:
@@ -199,7 +205,9 @@ def _sort(
         if parts
     ]
     sorted_buckets = [
-        _sort(machine, ledger, b, k, rng, n0, n_root) for b in buckets if b.length
+        _sort(machine, ledger, b, k, rng, n0, n_root, kernel=kernel)
+        for b in buckets
+        if b.length
     ]
     return machine.concat(sorted_buckets, name="psort-out")
 
@@ -210,6 +218,7 @@ def _partition_range(
     splitters: list,
     first_bucket: int,
     last_bucket: int,
+    kernel: str = "vectorized",
 ) -> list[tuple[int, ExtArray]]:
     """One task: scan ``chunk``, emit records of buckets [first, last)."""
     import bisect
@@ -221,12 +230,15 @@ def _partition_range(
         machine.writer(name=f"pbucket{first_bucket + j}")
         for j in range(last_bucket - first_bucket)
     ]
-    for rec in machine.scan(chunk):
-        if lo is not None and rec < lo:
-            continue
-        if hi is not None and rec >= hi:
-            continue
-        writers[bisect.bisect_right(round_splitters, rec)].append(rec)
+    if kernel == SLOW_REFERENCE:
+        for rec in machine.scan(chunk):
+            if lo is not None and rec < lo:
+                continue
+            if hi is not None and rec >= hi:
+                continue
+            writers[bisect.bisect_right(round_splitters, rec)].append(rec)
+    else:
+        _distribute_blocks(machine.scan_blocks(chunk), writers, round_splitters, lo, hi)
     out = []
     for j, w in enumerate(writers):
         part = w.close()
@@ -236,7 +248,8 @@ def _partition_range(
 
 
 def _parallel_base_case(
-    machine: AEMachine, ledger: ProcessorLedger, arr: ExtArray, k: int
+    machine: AEMachine, ledger: ProcessorLedger, arr: ExtArray, k: int,
+    kernel: str = "vectorized",
 ) -> ExtArray:
     """§4.2 base case: ``k`` processors each scan the whole partition and
     selection-sort their own ``M``-record share.
@@ -248,7 +261,7 @@ def _parallel_base_case(
     params = machine.params
     n = arr.length
     before = machine.counter.snapshot()
-    out = selection_sort(machine, arr)
+    out = selection_sort(machine, arr, kernel=kernel)
     delta = machine.counter.snapshot() - before
     shares = max(1, math.ceil(n / params.M))
     reads_each = math.ceil(n / params.B)

@@ -55,13 +55,12 @@ def bst_sort(
         raise ValueError(f"unknown tree {tree!r}; choose from {sorted(_TREES)}")
     counter = counter if counter is not None else CostCounter()
     t = _TREES[tree](counter)
+    # fetching the n input records: one batched charge, not n counter calls
+    counter.charge_read(len(data))
     for rec in data:
-        counter.charge_read()  # fetch the input record
         t.insert(rec)
-    out: list = []
-    for key in t.keys_in_order():
-        counter.charge_write()  # emit into the output array
-        out.append(key)
+    out = list(t.keys_in_order())
+    counter.charge_write(len(out))  # emit into the output array
     return out, counter
 
 
@@ -147,14 +146,13 @@ def heapsort(
     """Heapsort through an instrumented binary heap: Θ(n log n) writes."""
     counter = counter if counter is not None else CostCounter()
     heap = InstrumentedBinaryHeap(counter)
+    counter.charge_read(len(data))  # batched input fetches
     for rec in data:
-        counter.charge_read()
         heap.push(rec)
     out = []
     for _ in range(len(data)):
-        rec = heap.pop_min()
-        counter.charge_write()
-        out.append(rec)
+        out.append(heap.pop_min())
+    counter.charge_write(len(out))  # batched output emits
     return out, counter
 
 

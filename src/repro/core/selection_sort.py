@@ -20,12 +20,15 @@ import heapq
 import math
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
+from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
 
 
 def selection_sort(
     machine: AEMachine,
     arr: ExtArray,
     guard: MemoryGuard | None = None,
+    *,
+    kernel: str | None = None,
 ) -> ExtArray:
     """Sort ``arr`` with the Lemma 4.2 multi-pass selection sort.
 
@@ -33,7 +36,51 @@ def selection_sort(
     read bound ``k * ceil(n/B)`` holds with ``k = ceil(n/M)``), but the AEM
     algorithms only invoke it for ``n <= kM`` where that ``k`` matches their
     branching parameter.
+
+    ``kernel`` selects the block-granular fast path (``"vectorized"``,
+    default) or the record-at-a-time reference (``"slow_reference"``); both
+    produce identical blocks and identical counters.
     """
+    if resolve_kernel(kernel) == SLOW_REFERENCE:
+        return _selection_sort_slow(machine, arr, guard)
+
+    params = machine.params
+    n = arr.length
+    out_writer = machine.writer(name=f"selsort({arr.name})")
+    if n == 0:
+        return out_writer.close()
+
+    if guard is None:
+        guard = MemoryGuard()
+    # M-record working set + load block + store buffer
+    guard.acquire(params.M + 2 * params.B)
+
+    M = params.M
+    last_max = None  # largest key emitted so far (None = -infinity)
+    emitted = 0
+    while emitted < n:
+        # One scan: the M smallest records > last_max, selected with the
+        # shared bounded kernel (exact M-smallest multiset, same as the
+        # reference's record-at-a-time max-heap; scratch <= 1.5 M)
+        batch = take_smallest(machine.scan_blocks(arr), M, lo=last_max)
+        if not batch:
+            raise AssertionError(
+                "selection phase found no records although output is incomplete"
+            )
+        out_writer.extend(batch)
+        emitted += len(batch)
+        last_max = batch[-1]
+
+    guard.release(params.M + 2 * params.B)
+    return out_writer.close()
+
+
+def _selection_sort_slow(
+    machine: AEMachine,
+    arr: ExtArray,
+    guard: MemoryGuard | None = None,
+) -> ExtArray:
+    """Record-at-a-time reference implementation (parity baseline)."""
     params = machine.params
     n = arr.length
     out_writer = machine.writer(name=f"selsort({arr.name})")
@@ -52,6 +99,8 @@ def selection_sort(
         # In-memory work is free in the model; we use a bounded max-heap.
         working: list = []  # max-heap via negated keys
         for bi in range(arr.num_blocks):
+            if not arr._blocks[bi]:  # empty placeholder: nothing to transfer
+                continue
             block = machine.read_block(arr, bi, copy=False)
             for rec in block:
                 if last_max is not None and rec <= last_max:

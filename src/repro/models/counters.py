@@ -46,11 +46,44 @@ class CostCounter:
         self.element_writes += n
 
     def charge_block_read(self, n: int = 1) -> None:
-        """Charge ``n`` block transfers from secondary to primary memory."""
+        """Charge ``n`` block transfers from secondary to primary memory.
+
+        Hot path (no validation): :meth:`charge_reads` is the batch-named
+        alias with a negative-count guard — keep the two in lockstep.
+        """
         self.block_reads += n
 
     def charge_block_write(self, n: int = 1) -> None:
-        """Charge ``n`` block transfers from primary to secondary memory."""
+        """Charge ``n`` block transfers from primary to secondary memory.
+
+        Hot path (no validation): :meth:`charge_writes` is the batch-named
+        alias with a negative-count guard — keep the two in lockstep.
+        """
+        self.block_writes += n
+
+    # ------------------------------------------------------------------ #
+    # batch accounting (the block-kernel layer's fast path)
+    # ------------------------------------------------------------------ #
+    def charge_reads(self, n: int) -> None:
+        """Charge ``n`` block reads in one counter update.
+
+        Semantically identical to ``n`` calls of :meth:`charge_block_read`
+        — same totals, same granularity (block), same ``block_cost`` — but a
+        k-block scan costs one Python-level update instead of k.  The
+        vectorized kernels (``AEMachine.scan_blocks``,
+        ``BlockWriter.extend_blocks``) charge through this API.
+        """
+        if n < 0:
+            raise ValueError(f"cannot charge {n} block reads")
+        self.block_reads += n
+
+    def charge_writes(self, n: int) -> None:
+        """Charge ``n`` block writes in one counter update.
+
+        Batch form of :meth:`charge_block_write`; see :meth:`charge_reads`.
+        """
+        if n < 0:
+            raise ValueError(f"cannot charge {n} block writes")
         self.block_writes += n
 
     # ------------------------------------------------------------------ #

@@ -120,6 +120,20 @@ class ExtArray:
         """``ceil(length / B)`` — blocks a defragmented copy would occupy."""
         return -(-self.length // self.B)
 
+    def compact(self) -> int:
+        """Drop empty placeholder blocks; return how many were removed.
+
+        Empty physical blocks (left by out-of-order ``_ensure_block`` calls
+        or by concatenating empty regions) hold no records, so removing them
+        is pure metadata bookkeeping — free, like ``split_blocks``/``concat``.
+        Partial blocks are *not* repacked: moving records would be real block
+        I/O and must go through a charged rewrite.
+        """
+        before = len(self._blocks)
+        if any(not blk for blk in self._blocks):
+            self._blocks = [blk for blk in self._blocks if blk]
+        return before - len(self._blocks)
+
     def peek_list(self) -> list:
         """Uncharged flat copy — verification only (never inside algorithms)."""
         out: list = []
@@ -266,9 +280,38 @@ class AEMachine:
 
         Read-only: blocks are streamed without the defensive copy of
         :meth:`read_block`, since only individual records are exposed.
+
+        Physically *empty* placeholder blocks (see :meth:`ExtArray.compact`)
+        hold no records and are skipped without charge — a transfer that
+        moves nothing is not a transfer.  ``scan_blocks`` applies the same
+        rule, so the two access paths stay cost-identical.
         """
-        for bi in range(arr.num_blocks):
-            yield from self.read_block(arr, bi, copy=False)
+        counter = self.counter
+        for blk in arr._blocks:
+            if blk:
+                counter.charge_block_read()
+                yield from blk
+
+    def scan_blocks(self, arr: ExtArray) -> Iterator[list]:
+        """Yield every non-empty block of ``arr`` read-only, charging the
+        whole scan's reads in ONE batched counter update.
+
+        The block-granular counterpart of :meth:`scan`: identical total
+        charges (one read per non-empty physical block), but the counter is
+        touched once per scan instead of once per block, and whole resident
+        blocks are exposed so callers can partition/merge them with C-level
+        primitives (``bisect``, ``list.extend``) instead of per-record
+        Python loops.  The yielded lists are the resident blocks themselves
+        — callers MUST NOT mutate them.
+
+        The reads are charged up front (on first iteration): a scan is an
+        all-or-nothing transfer plan.  Callers that may stop early should
+        use :meth:`reader` / :meth:`read_block`, which charge per block.
+        """
+        blocks = [blk for blk in arr._blocks if blk]
+        if blocks:
+            self.counter.charge_reads(len(blocks))
+        yield from blocks
 
     def blocks_of(self, n: int) -> int:
         """``ceil(n / B)`` — the number of blocks ``n`` records occupy."""
@@ -352,7 +395,7 @@ class BlockWriter:
         """
         if self.closed:
             raise RuntimeError("BlockWriter already closed")
-        if not isinstance(recs, (list, tuple)):
+        if not isinstance(recs, list):
             recs = list(recs)
         B = self.machine.params.B
         total = len(recs)
@@ -364,13 +407,50 @@ class BlockWriter:
             pos = take
             if len(self._buf) == B:
                 self._flush()
-        while total - pos >= B:
-            self.machine.write_block(self.arr, self.arr.num_blocks, recs[pos : pos + B])
-            self.written += B
-            pos += B
+        nfull = (total - pos) // B
+        if nfull:
+            # full blocks land as-is: n list appends, ONE batched write charge
+            arr = self.arr
+            blocks = arr._blocks
+            for _ in range(nfull):
+                blocks.append(recs[pos : pos + B])
+                pos += B
+            arr.length += nfull * B
+            self.written += nfull * B
+            self.machine.counter.charge_writes(nfull)
         if pos < total:
             self._buf.extend(recs[pos:])
             self.written += total - pos
+
+    def extend_blocks(self, blocks: Iterable[list]) -> None:
+        """Append whole blocks, batching the block-write accounting.
+
+        Cost-equivalent to ``extend`` over the chained records (identical
+        write count and block contents), but when the writer holds no
+        partial buffer and an incoming block is exactly ``B`` records it is
+        appended as-is, and one ``charge_writes(k)`` covers each run of
+        ``k`` such full blocks instead of ``k`` separate counter updates.
+        Blocks that are partial (or that land on a partial buffer) fall back
+        to :meth:`extend`, which re-blocks them.
+        """
+        if self.closed:
+            raise RuntimeError("BlockWriter already closed")
+        B = self.machine.params.B
+        arr = self.arr
+        pending_full = 0
+        for blk in blocks:
+            if not self._buf and len(blk) == B:
+                arr._blocks.append(list(blk))
+                arr.length += B
+                self.written += B
+                pending_full += 1
+            else:
+                if pending_full:
+                    self.machine.counter.charge_writes(pending_full)
+                    pending_full = 0
+                self.extend(blk)
+        if pending_full:
+            self.machine.counter.charge_writes(pending_full)
 
     def _flush(self) -> None:
         if self._buf:

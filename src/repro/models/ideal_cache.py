@@ -113,6 +113,68 @@ class CacheSim:
                 self.counter.charge_block_write()
         pool[block] = is_write
 
+    def access_range(self, addr: int, count: int, is_write: bool) -> None:
+        """Touch ``count`` consecutive words starting at ``addr``.
+
+        Exactly equivalent to ``count`` calls of :meth:`access` — same
+        hits/misses, same pool states, same trace — but after the first
+        touch of each block the remaining words of that block are hits that
+        leave the (MRU) pool state unchanged under both policies, so they
+        are accounted in bulk instead of replayed one at a time.
+        """
+        B = self.params.B
+        end = addr + count
+        a = addr
+        while a < end:
+            span = min(end - a, B - a % B)
+            self.access(a, is_write)
+            extra = span - 1
+            if extra:
+                self.hits += extra
+                if self.record_trace:
+                    self.trace.extend([(a // B, is_write)] * extra)
+            a += span
+
+    def copy_range(self, src: int, dst: int, count: int) -> None:
+        """Charge the interleaved ``read src+i, write dst+i`` scan pattern of
+        a block copy, in bulk.
+
+        Equivalent to ``count`` (read, write) access pairs: once a source
+        and a destination block are both resident (and MRU in their pools),
+        the remaining pairs over that block span are hits with no state
+        change, so each span costs two :meth:`access` calls plus one batched
+        hit update.
+        """
+        B = self.params.B
+        # the batched "remaining pairs are hits" shortcut needs the source
+        # and destination blocks resident *together*; a single-slot LRU
+        # (M == B) thrashes between them, so replay per access instead
+        # (rwlru keeps them in separate pools and is safe at any size)
+        pairwise_only = self.policy == "lru" and self.params.blocks_in_memory < 2
+        done = 0
+        while done < count:
+            s = src + done
+            d = dst + done
+            span = min(count - done, B - s % B, B - d % B)
+            if pairwise_only or s // B == d // B:
+                # same-block src/dst (overlapping views) is stateful per
+                # pair under rwlru promotion as well: replay access by access
+                for i in range(span):
+                    self.access(s + i, False)
+                    self.access(d + i, True)
+                done += span
+                continue
+            self.access(s, False)
+            self.access(d, True)
+            extra = span - 1
+            if extra:
+                self.hits += 2 * extra
+                if self.record_trace:
+                    sb, db = s // B, d // B
+                    pair = [(sb, False), (db, True)]
+                    self.trace.extend(pair * extra)
+            done += span
+
     def _access_rwlru(self, block: int, is_write: bool) -> None:
         """The read-write LRU policy of Lemma 2.1.
 
@@ -223,6 +285,26 @@ class SimArray:
         """A zero-copy sub-array window (recursions use these)."""
         return SimView(self, offset, length)
 
+    # -- block-granular bulk access (charges preserved exactly) ---------- #
+    def read_range(self, start: int = 0, count: int | None = None) -> list:
+        """Return ``count`` elements from ``start`` as a list, charging the
+        identical sequential read scan in bulk (``CacheSim.access_range``)."""
+        if count is None:
+            count = len(self._data) - start
+        if start < 0 or start + count > len(self._data):
+            raise IndexError(f"range [{start}, {start + count}) out of bounds")
+        self.cache.access_range(self.base + start, count, False)
+        return self._data[start : start + count]
+
+    def write_range(self, start: int, values: list) -> None:
+        """Store ``values`` from ``start``, charging the identical sequential
+        write scan in bulk."""
+        count = len(values)
+        if start < 0 or start + count > len(self._data):
+            raise IndexError(f"range [{start}, {start + count}) out of bounds")
+        self.cache.access_range(self.base + start, count, True)
+        self._data[start : start + count] = values
+
     def peek_list(self) -> list:
         """Uncharged copy of the contents — verification only."""
         return list(self._data)
@@ -263,8 +345,49 @@ class SimView:
     def view(self, offset: int, length: int) -> "SimView":
         return SimView(self, offset, length)
 
+    def read_range(self, start: int = 0, count: int | None = None) -> list:
+        if count is None:
+            count = self.length - start
+        if start < 0 or start + count > self.length:
+            raise IndexError(f"range [{start}, {start + count}) out of view bounds")
+        return self.parent.read_range(self.offset + start, count)
+
+    def write_range(self, start: int, values: list) -> None:
+        if start < 0 or start + len(values) > self.length:
+            raise IndexError(
+                f"range [{start}, {start + len(values)}) out of view bounds"
+            )
+        self.parent.write_range(self.offset + start, values)
+
     def peek_list(self) -> list:
         return [self.parent._data[self.offset + i] for i in range(self.length)]
+
+
+def _resolve_sim_range(arr):
+    """``(backing SimArray, offset, length)`` for a SimArray/SimView, else None."""
+    if isinstance(arr, SimView):
+        return arr.parent, arr.offset, arr.length
+    if isinstance(arr, SimArray):
+        return arr, 0, len(arr)
+    return None
+
+
+def bulk_copy(src, dst) -> bool:
+    """Copy ``src`` into ``dst`` charging the interleaved element-copy scan
+    in bulk (``CacheSim.copy_range``); returns False when either side is not
+    a SimArray/SimView on the same cache (callers then fall back to the
+    per-element loop)."""
+    s = _resolve_sim_range(src)
+    d = _resolve_sim_range(dst)
+    if s is None or d is None:
+        return False
+    sp, so, n = s
+    dp, do, nd = d
+    if n != nd or sp.cache is not dp.cache:
+        return False
+    sp.cache.copy_range(sp.base + so, dp.base + do, n)
+    dp._data[do : do + n] = sp._data[so : so + n]
+    return True
 
 
 def simulate_trace(

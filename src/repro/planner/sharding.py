@@ -48,6 +48,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..core.kernels import get_default_kernel, set_default_kernel
 from .batch import BatchReport, JobFailure, SortJob, execute_and_check
 from .plan_cache import PlanCache
 
@@ -101,14 +102,20 @@ def execute_shard(
     check_sorted: bool = False,
     constants=None,
     warm_entries=None,
+    kernel: str | None = None,
 ) -> ShardResult:
     """Run one shard sequentially (this *is* the unit of parallelism) with a
     shard-local plan cache; mirror of the thread executor's per-job semantics.
 
     ``warm_entries`` (a :meth:`PlanCache.snapshot`) pre-seeds the shard-local
     cache so repeated job shapes hit immediately instead of re-ranking once
-    per shard.
+    per shard.  ``kernel`` pins the block-kernel mode for the whole shard —
+    the orchestrator passes its own default so a ``kernel_mode(...)`` block
+    around a process batch governs the worker processes too (a module
+    global does not cross ``fork``/``spawn`` on its own).
     """
+    if kernel is not None:
+        set_default_kernel(kernel)
     cache = PlanCache()
     if warm_entries:
         cache.seed(warm_entries)
@@ -170,10 +177,13 @@ def run_sharded(
         return merge_shard_reports(
             [execute_shard(shards[0], check_sorted, constants, warm_entries)]
         )
+    kernel = get_default_kernel()
     results = []
     with ProcessPoolExecutor(max_workers=len(shards)) as pool:
         futures = [
-            pool.submit(execute_shard, shard, check_sorted, constants, warm_entries)
+            pool.submit(
+                execute_shard, shard, check_sorted, constants, warm_entries, kernel
+            )
             for shard in shards
         ]
         for shard, fut in zip(shards, futures):
@@ -203,15 +213,18 @@ def run_sharded(
 # ---------------------------------------------------------------------- #
 # persistent workers (the SortService pool)
 # ---------------------------------------------------------------------- #
-def persistent_worker_loop(conn, constants=None, warm_entries=None) -> None:
+def persistent_worker_loop(conn, constants=None, warm_entries=None,
+                           kernel=None) -> None:
     """Body of one long-lived worker process: a shard fed one message at a
     time.
 
     Protocol (lockstep request/response over ``conn``):
 
-    * ``("job", index, job, check_sorted)`` → ``("ok", report, dh, dm)`` or
-      ``("err", picklable_exception, dh, dm)`` where ``dh``/``dm`` are this
-      job's plan-cache hit/miss deltas;
+    * ``("job", index, job, check_sorted[, kernel])`` → ``("ok", report,
+      dh, dm)`` or ``("err", picklable_exception, dh, dm)`` where ``dh``/
+      ``dm`` are this job's plan-cache hit/miss deltas and the optional
+      ``kernel`` pins the block-kernel mode for this job (the parent's
+      default at submission time — module globals do not cross processes);
     * ``("seed", entries)`` → ``("seeded", installed, 0, 0)`` — install a
       parent :meth:`PlanCache.snapshot` into the worker-local cache;
     * ``("stop",)`` or ``None`` → exit.
@@ -220,6 +233,8 @@ def persistent_worker_loop(conn, constants=None, warm_entries=None) -> None:
     persistent pool: repeated job shapes stop paying the ranking after the
     first submission, without any cross-process shared state.
     """
+    if kernel is not None:
+        set_default_kernel(kernel)
     cache = PlanCache()
     if warm_entries:
         cache.seed(warm_entries)
@@ -230,7 +245,12 @@ def persistent_worker_loop(conn, constants=None, warm_entries=None) -> None:
         if msg[0] == "seed":
             conn.send(("seeded", cache.seed(msg[1]), 0, 0))
             continue
-        _kind, index, job, check_sorted = msg
+        if len(msg) == 5:
+            _kind, index, job, check_sorted, job_kernel = msg
+            if job_kernel is not None:
+                set_default_kernel(job_kernel)
+        else:
+            _kind, index, job, check_sorted = msg
         hits0, misses0 = cache.hits, cache.misses
         try:
             rep = execute_and_check(
@@ -258,7 +278,7 @@ def spawn_persistent_worker(constants=None, warm_entries=None):
     parent_conn, child_conn = multiprocessing.Pipe()
     proc = multiprocessing.Process(
         target=persistent_worker_loop,
-        args=(child_conn, constants, warm_entries),
+        args=(child_conn, constants, warm_entries, get_default_kernel()),
         daemon=True,
     )
     proc.start()

@@ -63,6 +63,7 @@ class SortFuture:
         "_exception",
         "_callbacks",
         "plan_stats",
+        "wall_seconds",
     )
 
     def __init__(self, ticket: int, job=None, priority: float = 0):
@@ -78,6 +79,9 @@ class SortFuture:
         #: execution, stamped by the worker just before completion —
         #: ``None`` until then (and forever, for cancelled jobs)
         self.plan_stats: tuple[int, int, int] | None = None
+        #: worker-measured wall-clock of this job's execution, stamped just
+        #: before completion — ``None`` until then (and for cancelled jobs)
+        self.wall_seconds: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = getattr(self.job, "label", "") or ""

@@ -41,6 +41,7 @@ import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import CancelledError
 
+from ..core.kernels import get_default_kernel
 from ..models.params import MachineParams
 from ..planner.batch import BatchReport, JobFailure, SortJob, execute_and_check
 from ..planner.plan_cache import PlanCache
@@ -176,6 +177,9 @@ class SortService:
         self.completed = 0
         self.cancelled = 0
         self.respawns = 0
+        self.records_sorted = 0  # records across successfully completed jobs
+        self.busy_seconds = 0.0  # summed worker-side job wall-clock
+        self._started = time.monotonic()
 
         warm_entries = (
             warm_cache.snapshot() if isinstance(warm_cache, PlanCache) else warm_cache
@@ -386,14 +390,19 @@ class SortService:
                 self._cond.wait()
 
     def _finish(self, future: SortFuture, worker: int, hits: int, misses: int,
-                result=None, error: BaseException | None = None) -> None:
+                result=None, error: BaseException | None = None,
+                wall: float = 0.0, records: int = 0) -> None:
         future.plan_stats = (worker, hits, misses)
+        future.wall_seconds = wall
         if error is not None:
             future.set_exception(error)
         else:
             future.set_result(result)
         with self._cond:
             self.completed += 1
+            self.busy_seconds += wall
+            if error is None:
+                self.records_sorted += records
 
     def _thread_worker(self, index: int) -> None:
         while True:
@@ -408,15 +417,19 @@ class SortService:
                     self.cancelled += 1
                 continue
             view = _CacheView(self.cache)
+            records = len(entry.job.data) if entry.job.data is not None else 0
+            t0 = time.perf_counter()
             try:
                 rep = execute_and_check(
                     entry.index, entry.job, cache=view,
                     constants=self.constants, check_sorted=entry.check_sorted,
                 )
             except Exception as exc:  # noqa: BLE001 — captured per job by design
-                self._finish(fut, index, view.hits, view.misses, error=exc)
+                self._finish(fut, index, view.hits, view.misses, error=exc,
+                             wall=time.perf_counter() - t0, records=records)
             else:
-                self._finish(fut, index, view.hits, view.misses, result=rep)
+                self._finish(fut, index, view.hits, view.misses, result=rep,
+                             wall=time.perf_counter() - t0, records=records)
 
     def _process_worker(self, index: int) -> None:
         """Feeder thread for one persistent worker process: one in-flight
@@ -443,8 +456,13 @@ class SortService:
                 with self._cond:
                     self.cancelled += 1
                 continue
+            records = len(entry.job.data) if entry.job.data is not None else 0
+            t0 = time.perf_counter()
             try:
-                conn.send(("job", entry.index, entry.job, entry.check_sorted))
+                # ship the submitting process's block-kernel mode with the
+                # job — module globals do not cross the process boundary
+                conn.send(("job", entry.index, entry.job, entry.check_sorted,
+                           get_default_kernel()))
                 status, payload, dh, dm = conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 # the worker process died mid-job: fail ONLY this future,
@@ -457,12 +475,16 @@ class SortService:
                         f"{entry.index} ({getattr(entry.job, 'label', '')!r}): "
                         f"{exc!r}"
                     ),
+                    wall=time.perf_counter() - t0, records=records,
                 )
                 continue
+            wall = time.perf_counter() - t0
             if status == "ok":
-                self._finish(fut, index, dh, dm, result=payload)
+                self._finish(fut, index, dh, dm, result=payload,
+                             wall=wall, records=records)
             else:
-                self._finish(fut, index, dh, dm, error=payload)
+                self._finish(fut, index, dh, dm, error=payload,
+                             wall=wall, records=records)
         proc_handle = self._handles[index]
         if proc_handle is not None:
             stop_persistent_worker(*proc_handle)
@@ -498,17 +520,31 @@ class SortService:
             return len(self._shared) + sum(len(p) for p in self._pinned)
 
     def stats(self) -> dict:
-        """Service-level counters — the ops dashboard row."""
+        """Service-level counters — the ops dashboard row.
+
+        Throughput fields: ``records_sorted`` (across successfully completed
+        jobs), ``busy_seconds`` (summed worker-side job wall-clock),
+        ``records_per_sec`` (records over busy time — per-worker execution
+        throughput, the number the kernel layer moves), ``avg_job_seconds``
+        and ``uptime_seconds``.
+        """
         with self._cond:
+            completed = self.completed
+            busy = self.busy_seconds
             return {
                 "executor": self.executor,
                 "workers": self.workers,
                 "submitted": self.submitted,
-                "completed": self.completed,
+                "completed": completed,
                 "cancelled": self.cancelled,
                 "queued": len(self._shared) + sum(len(p) for p in self._pinned),
                 "respawns": self.respawns,
                 "shutdown": self._shutdown,
+                "records_sorted": self.records_sorted,
+                "busy_seconds": round(busy, 6),
+                "records_per_sec": round(self.records_sorted / busy, 1) if busy else 0.0,
+                "avg_job_seconds": round(busy / completed, 6) if completed else 0.0,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
             }
 
     def shutdown(self, drain: bool = True, wait: bool = True,

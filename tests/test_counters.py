@@ -115,3 +115,65 @@ class TestPhaseRecorder:
         with rec.phase("a"):
             pass
         assert rec.totals().block_reads == 0
+
+
+class TestBatchChargeAPI:
+    """``charge_reads``/``charge_writes`` must be indistinguishable from
+    looped single charges: same totals, same granularity tallies, same cost,
+    same phase-recorder (trace) deltas."""
+
+    def test_batch_equals_looped_single_charges(self):
+        batch = CostCounter()
+        looped = CostCounter()
+        batch.charge_reads(17)
+        batch.charge_writes(5)
+        for _ in range(17):
+            looped.charge_block_read()
+        for _ in range(5):
+            looped.charge_block_write()
+        assert batch.as_dict() == looped.as_dict()
+
+    def test_batch_charges_block_granularity_only(self):
+        c = CostCounter()
+        c.charge_reads(4)
+        c.charge_writes(2)
+        assert c.block_reads == 4 and c.block_writes == 2
+        assert c.element_reads == 0 and c.element_writes == 0
+        assert c.block_cost(omega=8) == 4 + 8 * 2
+        assert c.element_cost(omega=8) == 0
+
+    def test_batch_zero_is_a_noop(self):
+        c = CostCounter()
+        c.charge_reads(0)
+        c.charge_writes(0)
+        assert c.total_io() == 0
+
+    def test_batch_rejects_negative(self):
+        import pytest
+
+        c = CostCounter()
+        with pytest.raises(ValueError):
+            c.charge_reads(-1)
+        with pytest.raises(ValueError):
+            c.charge_writes(-3)
+
+    def test_phase_recorder_sees_batch_charges(self):
+        c = CostCounter()
+        rec = PhaseRecorder(c)
+        with rec.phase("batched"):
+            c.charge_reads(7)
+            c.charge_writes(3)
+        with rec.phase("looped"):
+            for _ in range(7):
+                c.charge_block_read()
+            for _ in range(3):
+                c.charge_block_write()
+        assert rec.phases[0].delta.as_dict() == rec.phases[1].delta.as_dict()
+
+    def test_snapshot_arithmetic_with_batch_charges(self):
+        c = CostCounter()
+        before = c.snapshot()
+        c.charge_reads(10)
+        c.charge_writes(4)
+        delta = c.snapshot() - before
+        assert delta.block_reads == 10 and delta.block_writes == 4

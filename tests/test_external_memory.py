@@ -270,3 +270,97 @@ class TestMemoryGuard:
         g.acquire(10)
         g.reset()
         assert g.in_use == 0 and g.high_water == 0
+
+
+class TestBlockGranularPrimitives:
+    def test_scan_blocks_yields_blocks_with_batched_charge(self, machine):
+        arr = machine.from_list(range(20))
+        blocks = list(machine.scan_blocks(arr))
+        assert [len(b) for b in blocks] == [8, 8, 4]
+        assert [x for b in blocks for x in b] == list(range(20))
+        assert machine.counter.block_reads == 3
+
+    def test_scan_blocks_lazy_no_charge_until_iterated(self, machine):
+        arr = machine.from_list(range(16))
+        it = machine.scan_blocks(arr)
+        assert machine.counter.block_reads == 0
+        next(it)
+        assert machine.counter.block_reads == 2  # whole scan charged up front
+
+    def test_scan_blocks_matches_scan_charges(self, machine):
+        arr = machine.from_list(range(45))
+        list(machine.scan(arr))
+        scan_reads = machine.counter.block_reads
+        fresh = AEMachine(machine.params)
+        list(fresh.scan_blocks(arr))
+        assert fresh.counter.block_reads == scan_reads
+
+    def test_extend_blocks_cost_equivalent_to_extend(self, machine):
+        src = machine.from_list(range(45))
+        w1 = machine.writer()
+        w1.extend_blocks(machine.scan_blocks(src))
+        a1 = w1.close()
+        fresh = AEMachine(machine.params)
+        w2 = fresh.writer()
+        for rec in range(45):
+            w2.append(rec)
+        a2 = w2.close()
+        assert a1._blocks == a2._blocks
+        # same writes; scan_blocks charged 6 reads on `machine` only
+        assert machine.counter.block_writes == fresh.counter.block_writes
+
+    def test_extend_blocks_partial_blocks_reblocked(self, machine):
+        w = machine.writer()
+        w.extend_blocks([[1, 2, 3], [4, 5], [6, 7, 8, 9, 10, 11]])
+        arr = w.close()
+        assert arr.peek_list() == list(range(1, 12))
+        # 11 records -> ceil(11/8) = 2 block writes, like any append path
+        assert machine.counter.block_writes == 2
+
+    def test_extend_blocks_after_close_rejected(self, machine):
+        w = machine.writer()
+        w.close()
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            w.extend_blocks([[1]])
+
+
+class TestFragmentation:
+    """Empty placeholder blocks (out-of-order ``_ensure_block``) must not be
+    scanned or charged — the regression the block-kernel layer fixed."""
+
+    def _fragmented(self, machine):
+        arr = machine.from_list(range(16))  # 2 full blocks
+        arr._ensure_block(4)  # placeholders at 2, 3, 4
+        arr._blocks[4] = [16, 17]  # out-of-order write left 2 empty holes
+        arr.length += 2
+        return arr
+
+    def test_scan_skips_empty_placeholder_blocks(self, machine):
+        arr = self._fragmented(machine)
+        assert list(machine.scan(arr)) == list(range(18))
+        assert machine.counter.block_reads == 3  # not 5
+
+    def test_scan_blocks_skips_empty_placeholder_blocks(self, machine):
+        arr = self._fragmented(machine)
+        blocks = list(machine.scan_blocks(arr))
+        assert [len(b) for b in blocks] == [8, 8, 2]
+        assert machine.counter.block_reads == 3
+
+    def test_compact_drops_only_empty_blocks(self, machine):
+        arr = self._fragmented(machine)
+        removed = arr.compact()
+        assert removed == 2
+        assert arr.num_blocks == 3
+        assert arr.length == 18
+        assert arr.peek_list() == list(range(18))
+        assert machine.counter.total_io() == 0  # compaction is metadata-only
+        assert arr.compact() == 0  # idempotent
+
+    def test_compact_keeps_partial_blocks(self, machine):
+        a = machine.from_list(range(5))
+        b = machine.from_list(range(5, 10))
+        out = machine.concat([a, b])
+        assert out.compact() == 0  # partial (non-empty) blocks stay put
+        assert out.num_blocks == 2

@@ -253,3 +253,100 @@ class TestTraceRecording:
         a[0]
         a[5] = 1
         assert c.trace == [(a.base // 4, False), ((a.base + 5) // 4, True)]
+
+
+class TestBulkAccessRange:
+    """``access_range`` / ``copy_range`` and the SimArray range methods must
+    replay the exact per-element access sequence: same hits, misses,
+    counters, pool states and trace."""
+
+    def _pair(self, policy):
+        from repro.models.params import MachineParams
+
+        params = MachineParams(M=32, B=8, omega=4)
+        bulk = CacheSim(params, policy=policy, record_trace=True)
+        ref = CacheSim(params, policy=policy, record_trace=True)
+        return bulk, ref
+
+    def _assert_same(self, bulk, ref):
+        assert bulk.hits == ref.hits
+        assert bulk.misses == ref.misses
+        assert bulk.counter.as_dict() == ref.counter.as_dict()
+        assert bulk.trace == ref.trace
+        assert bulk._pool == ref._pool
+        assert bulk._read_pool == ref._read_pool
+        assert bulk._write_pool == ref._write_pool
+
+    def test_access_range_equals_per_element(self):
+        for policy in ("lru", "rwlru"):
+            bulk, ref = self._pair(policy)
+            for addr, count, is_write in [(3, 20, False), (0, 7, True), (40, 33, False)]:
+                bulk.access_range(addr, count, is_write)
+                for a in range(addr, addr + count):
+                    ref.access(a, is_write)
+                self._assert_same(bulk, ref)
+
+    def test_copy_range_equals_interleaved_pairs(self):
+        for policy in ("lru", "rwlru"):
+            bulk, ref = self._pair(policy)
+            src, dst, count = 5, 100, 30
+            bulk.copy_range(src, dst, count)
+            for i in range(count):
+                ref.access(src + i, False)
+                ref.access(dst + i, True)
+            self._assert_same(bulk, ref)
+
+    def test_sim_array_range_methods(self):
+        from repro.models.params import MachineParams
+
+        params = MachineParams(M=32, B=8, omega=4)
+        bulk_cache = CacheSim(params, policy="rwlru")
+        ref_cache = CacheSim(params, policy="rwlru")
+        bulk_arr = bulk_cache.array(list(range(50)))
+        ref_arr = ref_cache.array(list(range(50)))
+
+        vals = bulk_arr.read_range(10, 25)
+        ref_vals = [ref_arr[i] for i in range(10, 35)]
+        assert vals == ref_vals
+        bulk_arr.write_range(0, [9] * 12)
+        for i in range(12):
+            ref_arr[i] = 9
+        assert bulk_arr.peek_list() == ref_arr.peek_list()
+        assert bulk_cache.counter.as_dict() == ref_cache.counter.as_dict()
+        assert (bulk_cache.hits, bulk_cache.misses) == (ref_cache.hits, ref_cache.misses)
+
+    def test_view_range_methods_delegate(self):
+        from repro.models.params import MachineParams
+
+        params = MachineParams(M=32, B=8, omega=4)
+        cache = CacheSim(params)
+        arr = cache.array(list(range(40)))
+        view = arr.view(10, 20).view(5, 10)  # window [15, 25) of the array
+        assert view.read_range() == list(range(15, 25))
+        view.write_range(0, [0] * 3)
+        assert arr.peek_list()[15:18] == [0, 0, 0]
+        import pytest
+
+        with pytest.raises(IndexError):
+            view.read_range(5, 6)
+        with pytest.raises(IndexError):
+            view.write_range(9, [1, 2])
+
+
+class TestCopyRangeCapacityEdge:
+    def test_copy_range_single_slot_lru_matches_reference(self):
+        """Regression: M == B leaves room for only one resident block, so
+        the interleaved copy thrashes — the bulk path must replay it."""
+        from repro.models.params import MachineParams
+
+        params = MachineParams(M=8, B=8, omega=4)
+        bulk = CacheSim(params, policy="lru", record_trace=True)
+        ref = CacheSim(params, policy="lru", record_trace=True)
+        bulk.copy_range(0, 64, 16)
+        for i in range(16):
+            ref.access(i, False)
+            ref.access(64 + i, True)
+        assert (bulk.hits, bulk.misses) == (ref.hits, ref.misses)
+        assert bulk.counter.as_dict() == ref.counter.as_dict()
+        assert bulk.trace == ref.trace
+        assert bulk._pool == ref._pool

@@ -473,3 +473,40 @@ class TestStats:
         release.set()
         svc.shutdown(drain=True)
         assert svc.queued() == 0
+
+
+class TestThroughputStats:
+    def test_stats_report_throughput_fields(self):
+        from repro import MachineParams
+        from repro.service import SortService
+
+        params = MachineParams(M=64, B=8, omega=8)
+        datasets = [list(range(n, 0, -1)) for n in (50, 80, 120)]
+        with SortService(params, workers=2, executor="thread") as svc:
+            futures = svc.submit_many(datasets)
+            report = svc.gather(futures)
+            stats = svc.stats()
+        assert not report.failures
+        assert stats["records_sorted"] == sum(len(d) for d in datasets)
+        assert stats["busy_seconds"] > 0
+        assert stats["records_per_sec"] > 0
+        assert stats["avg_job_seconds"] > 0
+        assert stats["uptime_seconds"] >= 0
+        # per-job wall-clock is stamped on every completed future
+        for fut in futures:
+            assert fut.wall_seconds is not None and fut.wall_seconds >= 0
+
+    def test_failed_jobs_count_busy_time_but_not_records(self):
+        from repro import MachineParams, SortJob
+        from repro.service import SortService
+
+        params = MachineParams(M=64, B=8, omega=8)
+        with SortService(params, workers=1, executor="thread") as svc:
+            bad = svc.submit(SortJob(data=[3, 1, 2], algorithm="no-such-algo"))
+            good = svc.submit([5, 4, 6])
+            assert bad.exception() is not None
+            assert good.result().is_sorted()
+            stats = svc.stats()
+        assert stats["completed"] == 2
+        assert stats["records_sorted"] == 3  # only the successful job's records
+        assert bad.wall_seconds is not None

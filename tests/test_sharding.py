@@ -121,10 +121,11 @@ class TestProcessExecutor:
 
         real = sharding.execute_shard
 
-        def flaky(shard, check_sorted=False, constants=None, warm_entries=None):
+        def flaky(shard, check_sorted=False, constants=None, warm_entries=None,
+                  kernel=None):
             if any(index == 0 for index, _ in shard):
                 raise RuntimeError("simulated worker death")
-            return real(shard, check_sorted, constants, warm_entries)
+            return real(shard, check_sorted, constants, warm_entries, kernel)
 
         class InlinePool:
             def __init__(self, max_workers):
