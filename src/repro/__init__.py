@@ -65,6 +65,22 @@ from .service import (
 
 __version__ = "1.0.0"
 
+# Runtime sanitizers, environment-activated so they reach spawned worker
+# processes too (the env propagates through multiprocessing): REPRO_IOSAN=1
+# cross-checks every physical block transfer against the CostCounter,
+# REPRO_LOCKSAN=1 records lock acquisition order across the service layer.
+import os as _os
+
+if _os.environ.get("REPRO_IOSAN", "0") not in ("", "0"):
+    from .analysis import iosan as _iosan
+
+    _iosan.enable()
+if _os.environ.get("REPRO_LOCKSAN", "0") not in ("", "0"):
+    from .analysis import locksan as _locksan
+
+    _locksan.enable()
+del _os
+
 __all__ = [
     "AEMPriorityQueue",
     "AEMachine",

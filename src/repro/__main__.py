@@ -379,6 +379,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import reprolint
+
+    argv = list(args.paths)
+    argv += ["--format", args.format, "--root", args.root]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    for name in args.rules or ():
+        argv += ["--rule", name]
+    return reprolint.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -505,6 +519,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--constants", default=None, metavar="FILE",
                          help="calibrated-constants JSON (from `calibrate --save`)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's cost-accounting / lock-discipline linter",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
+                        help="files or directories (default: src benchmarks)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--rule", action="append", dest="rules", metavar="NAME",
+                        help="run only the named rule (repeatable)")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON baseline of grandfathered findings")
+    p_lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings to FILE and exit 0")
+    p_lint.add_argument("--root", default=".",
+                        help="repo root for scoped rule paths")
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

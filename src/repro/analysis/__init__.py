@@ -1,5 +1,16 @@
-"""Closed-form theorem bounds, Appendix-A k-tuning, and table rendering."""
+"""Closed-form theorem bounds, Appendix-A k-tuning, table rendering — and
+the repo's self-checking layer: the :mod:`~repro.analysis.reprolint` static
+linter plus the :mod:`~repro.analysis.iosan` (uncharged-I/O) and
+:mod:`~repro.analysis.locksan` (lock-order) runtime sanitizers.
 
+Import discipline: this package must stay importable from anywhere in the
+tree (the service and planner layers pull :func:`wrap_lock` /
+:func:`wrap_condition` at import time), so it may depend on
+:mod:`repro.models` but never on :mod:`repro.core`, ``planner``, ``service``
+or ``engine``.
+"""
+
+from . import iosan, locksan
 from .formulas import (
     co_sort_reads,
     co_sort_writes,
@@ -20,9 +31,19 @@ from .recurrences import (
     matmul_write_recurrence,
     matmul_write_recurrence_randomized,
 )
+from .iosan import SealedBlock, UnchargedIOError, iosan_enabled
+from .locksan import (
+    LockOrderError,
+    locksan_enabled,
+    wrap_condition,
+    wrap_lock,
+)
 from .tables import format_table
 
 __all__ = [
+    "LockOrderError",
+    "SealedBlock",
+    "UnchargedIOError",
     "choose_k",
     "co_sort_read_recurrence",
     "co_sort_reads",
@@ -32,7 +53,11 @@ __all__ = [
     "feasible_k_region",
     "fft_write_recurrence",
     "format_table",
+    "iosan",
+    "iosan_enabled",
     "k_improves",
+    "locksan",
+    "locksan_enabled",
     "matmul_co_reads",
     "matmul_co_writes",
     "matmul_write_recurrence",
@@ -43,4 +68,6 @@ __all__ = [
     "pram_sort_reads",
     "pram_sort_writes",
     "sweep_k",
+    "wrap_condition",
+    "wrap_lock",
 ]

@@ -1,0 +1,382 @@
+"""The repo-specific lint rules.
+
+Each rule enforces one invariant the cost model or the service layer
+depends on; see the rule docstrings (surfaced by ``RULES``) for what and
+why.  Rules receive a parsed :class:`~repro.analysis.reprolint.ModuleSource`
+and the run's :class:`~repro.analysis.reprolint.LintContext` and yield
+:class:`~repro.analysis.reprolint.Finding`\\ s; suppression and baseline
+filtering happen in the framework.
+
+Scoping: every rule keys off the module's *virtual path* (repo-relative,
+overridable with the ``# reprolint: path=...`` pragma — which is how the
+planted-violation corpus under ``tests/lint_corpus/`` opts in).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .reprolint import Finding, LintContext, ModuleSource, rule
+
+#: modules allowed to touch physical storage directly: the model itself,
+#: and the sanitizer layer whose whole job is auditing that storage
+_UNCHARGED_IO_WHITELIST = ("src/repro/models/", "src/repro/analysis/")
+
+#: attributes that ARE the physical storage of the AEM simulation
+_PHYSICAL_ATTRS = ("_blocks", "_memory")
+
+#: modules whose loops are kernel paths (the PR-5 vectorization boundary)
+_LOOP_CHARGE_SCOPE = ("src/repro/core/",)
+
+#: single-record charge methods that must not appear in kernel-path loops
+_SINGLE_CHARGES = (
+    "charge_read",
+    "charge_write",
+    "charge_block_read",
+    "charge_block_write",
+)
+
+#: the lock-owning layers
+_LOCK_SCOPE_PREFIXES = ("src/repro/service/",)
+_LOCK_SCOPE_FILES = ("src/repro/planner/plan_cache.py",)
+
+#: calls that block the calling thread — holding a lock across one of these
+#: stalls every other thread contending for that lock (and invites deadlock
+#: when the blocked-on work needs the same lock to finish)
+_BLOCKING_CALLS = (
+    "result",
+    "join",
+    "sendall",
+    "recv",
+    "readline",
+    "accept",
+    "connect",
+    "sleep",
+)
+
+#: where the vectorized/slow-reference pins live
+_PARITY_TEST_FILE = "tests/test_kernel_parity.py"
+
+
+def _in_scope(module: ModuleSource, prefixes=(), files=()) -> bool:
+    vp = module.virtual_path
+    return vp.startswith(tuple(prefixes)) or vp in files
+
+
+# --------------------------------------------------------------------------- #
+# uncharged-io
+# --------------------------------------------------------------------------- #
+@rule(
+    "uncharged-io",
+    "direct ._blocks/._memory access outside the model bypasses CostCounter "
+    "charging — go through AEMachine primitives (or block_len for metadata)",
+)
+def check_uncharged_io(module: ModuleSource, ctx: LintContext):
+    if _in_scope(module, prefixes=_UNCHARGED_IO_WHITELIST):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _PHYSICAL_ATTRS:
+            yield Finding(
+                rule="uncharged-io",
+                path=module.virtual_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"direct access to physical storage `.{node.attr}` "
+                    "outside repro.models — every block touch must go "
+                    "through a charged AEMachine primitive (use "
+                    "machine.block_len(bi) for free length metadata)"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# loop-charge
+# --------------------------------------------------------------------------- #
+def _under_slow_reference(module: ModuleSource, node: ast.AST) -> bool:
+    """True when the call sits in a deliberate record-at-a-time path: a
+    branch guarded on SLOW_REFERENCE or a function named for the slow
+    kernel.  Those paths charge per record *by contract* (they must be
+    I/O-identical to the historical implementation)."""
+    for anc in module.ancestors(node):
+        if isinstance(anc, ast.If) and "SLOW_REFERENCE" in module.segment(anc.test):
+            return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = anc.name.lower()
+            if "slow" in name or "reference" in name:
+                return True
+    return False
+
+
+@rule(
+    "loop-charge",
+    "per-record charge calls inside kernel-path loops — use the batch "
+    "charge_reads/charge_writes API (PR-5 contract) unless the loop is a "
+    "slow_reference path",
+)
+def check_loop_charge(module: ModuleSource, ctx: LintContext):
+    if not _in_scope(module, prefixes=_LOOP_CHARGE_SCOPE):
+        return
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SINGLE_CHARGES
+        ):
+            continue
+        in_loop = any(
+            isinstance(anc, (ast.For, ast.While)) for anc in module.ancestors(node)
+        )
+        if not in_loop or _under_slow_reference(module, node):
+            continue
+        yield Finding(
+            rule="loop-charge",
+            path=module.virtual_path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"per-record `{node.func.attr}` inside a kernel-path loop — "
+                "hoist to one batched charge_reads/charge_writes call "
+                "(vectorized-kernel contract), or move the loop under a "
+                "SLOW_REFERENCE branch"
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# lock-discipline
+# --------------------------------------------------------------------------- #
+_LOCK_CTORS = ("Lock", "RLock", "Condition", "wrap_lock", "wrap_condition")
+
+
+def _call_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            return fn.id
+        if isinstance(fn, ast.Attribute):
+            return fn.attr
+    return ""
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """`self.X` -> "X" (else None)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_self_attrs(target: ast.AST):
+    """Self attributes written by one assignment target: ``self.x = …``,
+    ``self.x[i] = …``, and tuple/list unpacking thereof."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _written_self_attrs(elt)
+        return
+    if isinstance(target, ast.Starred):
+        yield from _written_self_attrs(target.value)
+        return
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield attr
+
+
+def _lock_attrs_of_class(cls: ast.ClassDef) -> set[str]:
+    """Lock-holding attributes: ``self.X = threading.Lock()`` (or a
+    ``wrap_lock``/``wrap_condition`` construction) anywhere in the class."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if _call_name(node.value) in _LOCK_CTORS:
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+def _held_locks(module: ModuleSource, node: ast.AST, lock_attrs: set[str]) -> set[str]:
+    """Lock attributes held at ``node`` via enclosing ``with self.X:``."""
+    held: set[str] = set()
+    for anc in module.ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                attr = _self_attr(item.context_expr)
+                if attr in lock_attrs:
+                    held.add(attr)
+    return held
+
+
+@rule(
+    "lock-discipline",
+    "in lock-owning classes (service layer, PlanCache): instance state must "
+    "be written under the lock, and blocking calls must not run while "
+    "holding it",
+)
+def check_lock_discipline(module: ModuleSource, ctx: LintContext):
+    if not _in_scope(
+        module, prefixes=_LOCK_SCOPE_PREFIXES, files=_LOCK_SCOPE_FILES
+    ):
+        return
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        lock_attrs = _lock_attrs_of_class(cls)
+        if not lock_attrs:
+            continue
+        for node in ast.walk(cls):
+            # ---- unlocked writes to instance state -----------------------
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                written = [
+                    a for t in targets for a in _written_self_attrs(t)
+                ]
+                if not written:
+                    continue
+                fn = next(
+                    (
+                        a
+                        for a in module.ancestors(node)
+                        if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    ),
+                    None,
+                )
+                if fn is None or fn.name == "__init__":
+                    continue  # construction is single-threaded by definition
+                if _held_locks(module, node, lock_attrs):
+                    continue
+                for attr in written:
+                    yield Finding(
+                        rule="lock-discipline",
+                        path=module.virtual_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"write to `self.{attr}` in "
+                            f"`{cls.name}.{fn.name}` outside "
+                            f"`with self.{'/'.join(sorted(lock_attrs))}:` — "
+                            "lock-owning classes must write instance state "
+                            "under their lock"
+                        ),
+                    )
+            # ---- blocking calls while holding the lock -------------------
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name not in _BLOCKING_CALLS:
+                    continue
+                # the condition's own wait/wait_for are how you block
+                # *correctly* under a lock, and notify is lock-internal
+                if isinstance(node.func, ast.Attribute):
+                    owner = _self_attr(node.func.value)
+                    if owner in lock_attrs:
+                        continue
+                held = _held_locks(module, node, lock_attrs)
+                if not held:
+                    continue
+                yield Finding(
+                    rule="lock-discipline",
+                    path=module.virtual_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"blocking call `{name}(...)` while holding "
+                        f"`self.{'/'.join(sorted(held))}` in `{cls.name}` — "
+                        "release the lock before blocking (or suppress with "
+                        "a comment explaining why holding it is the point)"
+                    ),
+                )
+
+
+# --------------------------------------------------------------------------- #
+# kernel-parity
+# --------------------------------------------------------------------------- #
+def _entry_symbol(spec: str) -> str | None:
+    """``"repro.core.aem_heapsort:aem_heapsort"`` -> ``"aem_heapsort"``."""
+    if ":" not in spec:
+        return None
+    return spec.rsplit(":", 1)[1]
+
+
+@rule(
+    "kernel-parity",
+    "every register_kernel_entry call must declare both a vectorized and a "
+    "slow_reference entry point, each pinned in tests/test_kernel_parity.py",
+)
+def check_kernel_parity(module: ModuleSource, ctx: LintContext):
+    parity_text = ctx.read_file(_PARITY_TEST_FILE)
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and _call_name(node) == "register_kernel_entry"):
+            continue
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        for required in ("vectorized", "slow_reference"):
+            value = kwargs.get(required)
+            if value is None:
+                yield Finding(
+                    rule="kernel-parity",
+                    path=module.virtual_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"register_kernel_entry without a `{required}=` "
+                        "entry point — every kernel ships both modes"
+                    ),
+                )
+                continue
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                yield Finding(
+                    rule="kernel-parity",
+                    path=module.virtual_path,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    message=(
+                        f"`{required}=` must be a string literal "
+                        '("module:symbol") so the parity pin is statically '
+                        "checkable"
+                    ),
+                )
+                continue
+            symbol = _entry_symbol(value.value)
+            if symbol is None:
+                yield Finding(
+                    rule="kernel-parity",
+                    path=module.virtual_path,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    message=(
+                        f"`{required}={value.value!r}` is not of the form "
+                        '"module:symbol"'
+                    ),
+                )
+                continue
+            if parity_text is None:
+                yield Finding(
+                    rule="kernel-parity",
+                    path=module.virtual_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"parity test file {_PARITY_TEST_FILE} not found",
+                )
+            elif symbol not in parity_text:
+                yield Finding(
+                    rule="kernel-parity",
+                    path=module.virtual_path,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    message=(
+                        f"kernel entry point `{symbol}` has no pin in "
+                        f"{_PARITY_TEST_FILE} — add a byte-identical "
+                        "vectorized/slow_reference parity test"
+                    ),
+                )

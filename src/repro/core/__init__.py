@@ -19,19 +19,23 @@ from .aem_heapsort import AEMPriorityQueue, aem_heapsort
 from .aem_mergesort import aem_mergesort
 from .aem_samplesort import aem_samplesort
 from .buffer_tree import BufferTree
+from .em_utils import em_two_way_mergesort
 from .kernels import (
+    KERNEL_ENTRIES,
     SLOW_REFERENCE,
     VECTORIZED,
     get_default_kernel,
     kernel_mode,
     set_default_kernel,
 )
+from .parallel_samplesort import parallel_samplesort
 from .ram_sort import RAM_SORTS, bst_sort, heapsort, mergesort, quicksort
 from .selection_sort import selection_sort
 
 __all__ = [
     "AEMPriorityQueue",
     "BufferTree",
+    "KERNEL_ENTRIES",
     "RAM_SORTS",
     "SLOW_REFERENCE",
     "VECTORIZED",
@@ -39,10 +43,12 @@ __all__ = [
     "aem_mergesort",
     "aem_samplesort",
     "bst_sort",
+    "em_two_way_mergesort",
     "get_default_kernel",
     "heapsort",
     "kernel_mode",
     "mergesort",
+    "parallel_samplesort",
     "quicksort",
     "selection_sort",
     "set_default_kernel",

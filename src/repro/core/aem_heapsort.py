@@ -29,7 +29,13 @@ import math
 
 from ..models.external_memory import AEMachine, BlockWriter, ExtArray, MemoryGuard
 from .buffer_tree import BufferTree
-from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel, take_smallest
+
+register_kernel_entry(
+    "heapsort",
+    vectorized="repro.core.aem_heapsort:aem_heapsort",
+    slow_reference="repro.core.aem_heapsort:aem_heapsort",  # same entry point, kernel="slow_reference"
+)
 
 
 class AEMPriorityQueue:
@@ -208,7 +214,7 @@ class AEMPriorityQueue:
         idx = 0
         pi = 0
         for bi in range(self._beta.num_blocks):
-            if not self._beta._blocks[bi]:  # empty placeholder: no transfer
+            if self._beta.block_len(bi) == 0:  # empty placeholder: no transfer
                 continue
             block = self.machine.read_block(self._beta, bi, copy=False)
             for rec in block:

@@ -51,8 +51,15 @@ import bisect
 import math
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
-from .kernels import SLOW_REFERENCE, resolve_kernel
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel
 from .selection_sort import selection_sort
+
+register_kernel_entry(
+    "mergesort",
+    vectorized="repro.core.aem_mergesort:aem_mergesort",
+    slow_reference="repro.core.aem_mergesort:aem_mergesort",  # same entry point, kernel="slow_reference"
+)
+
 
 _INF = object()  # sentinel: larger than every key
 

@@ -29,8 +29,15 @@ import random
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
 from .em_utils import em_two_way_mergesort
-from .kernels import SLOW_REFERENCE, resolve_kernel
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel
 from .selection_sort import selection_sort
+
+register_kernel_entry(
+    "samplesort",
+    vectorized="repro.core.aem_samplesort:aem_samplesort",
+    slow_reference="repro.core.aem_samplesort:aem_samplesort",  # same entry point, kernel="slow_reference"
+)
+
 
 #: Over-sampling multiplier (the paper's Theta(l log n0) constant).
 SAMPLE_FACTOR = 4
@@ -145,7 +152,7 @@ def _choose_splitters(
     want = next(pos_iter, None)
     offset = 0
     for bi in range(arr.num_blocks):
-        blk_len = len(arr._blocks[bi])  # length lookup is free bookkeeping
+        blk_len = arr.block_len(bi)  # length lookup is free bookkeeping
         if want is None:
             break
         if want >= offset + blk_len:

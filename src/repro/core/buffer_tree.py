@@ -46,7 +46,13 @@ import bisect
 import math
 
 from ..models.external_memory import AEMachine, BlockWriter, ExtArray
-from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel, take_smallest
+
+register_kernel_entry(
+    "buffer-tree",
+    vectorized="repro.core.buffer_tree:BufferTree",
+    slow_reference="repro.core.buffer_tree:BufferTree",  # same entry point, kernel="slow_reference"
+)
 
 
 class _Node:
@@ -749,7 +755,7 @@ def _external_prefix_sort(
             for bi in range(buf.num_blocks):
                 if seen >= prefix_len:
                     break
-                if not buf._blocks[bi]:  # empty placeholder: no transfer
+                if buf.block_len(bi) == 0:  # empty placeholder: no transfer
                     continue
                 block = machine.read_block(buf, bi, copy=False)
                 for rec in block:
@@ -799,7 +805,7 @@ def _prefix_blocks(machine: AEMachine, arr: ExtArray, prefix_len: int):
     for bi in range(arr.num_blocks):
         if seen >= prefix_len:
             break
-        if not arr._blocks[bi]:  # empty placeholder: nothing to transfer
+        if arr.block_len(bi) == 0:  # empty placeholder: nothing to transfer
             continue
         block = machine.read_block(arr, bi, copy=False)
         if seen + len(block) > prefix_len:
@@ -816,7 +822,7 @@ def _skip_stream(machine: AEMachine, arr: ExtArray, skip: int):
     """
     offset = 0
     for bi in range(arr.num_blocks):
-        blk_len = len(arr._blocks[bi])
+        blk_len = arr.block_len(bi)
         if offset + blk_len <= skip:
             offset += blk_len
             continue
@@ -832,7 +838,7 @@ def _skip_stream_blocks(machine: AEMachine, arr: ExtArray, skip: int):
     each block past the skipped prefix (same blocks read, same charges)."""
     offset = 0
     for bi in range(arr.num_blocks):
-        blk_len = len(arr._blocks[bi])
+        blk_len = arr.block_len(bi)
         if offset + blk_len <= skip:
             offset += blk_len
             continue

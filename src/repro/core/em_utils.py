@@ -18,7 +18,13 @@ from __future__ import annotations
 import bisect
 
 from ..models.external_memory import AEMachine, ExtArray
-from .kernels import SLOW_REFERENCE, resolve_kernel
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel
+
+register_kernel_entry(
+    "em2way",
+    vectorized="repro.core.em_utils:em_two_way_mergesort",
+    slow_reference="repro.core.em_utils:em_two_way_mergesort",  # same entry point, kernel="slow_reference"
+)
 
 
 def em_two_way_mergesort(

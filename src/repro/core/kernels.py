@@ -88,6 +88,37 @@ def kernel_mode(mode: str):
         set_default_kernel(previous)
 
 
+#: declarative registry of every sort path that dispatches on the kernel
+#: mode: ``name -> {"vectorized": "module:callable", "slow_reference":
+#: "module:callable"}``.  Populated at import time by each kernel-path
+#: module via :func:`register_kernel_entry`.
+KERNEL_ENTRIES: dict[str, dict[str, str]] = {}
+
+
+def register_kernel_entry(name: str, *, vectorized: str,
+                          slow_reference: str) -> None:
+    """Declare one kernel-dispatched sort path and its mode pair.
+
+    ``vectorized`` and ``slow_reference`` are ``"module:callable"``
+    references to the entry point serving each mode (usually the same
+    callable, selected via its ``kernel=`` argument).  The declaration is
+    the contract the ``kernel-parity`` lint rule enforces statically: every
+    registered entry must name a ``slow_reference`` counterpart, and the
+    vectorized callable must be pinned by ``tests/test_kernel_parity.py``.
+    Arguments must be string literals so the rule can check them without
+    importing anything.
+    """
+    if not vectorized or not slow_reference:
+        raise ValueError(
+            f"kernel entry {name!r} must name both a vectorized and a "
+            "slow_reference implementation"
+        )
+    KERNEL_ENTRIES[name] = {
+        VECTORIZED: vectorized,
+        SLOW_REFERENCE: slow_reference,
+    }
+
+
 def take_smallest(blocks, take: int, lo=None) -> list:
     """The shared bounded-selection kernel: the ``take`` smallest records
     strictly greater than ``lo`` across an iterable of record lists,

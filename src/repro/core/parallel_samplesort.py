@@ -34,8 +34,14 @@ from dataclasses import dataclass, field
 from ..models.external_memory import AEMachine, ExtArray
 from ..models.params import MachineParams
 from .aem_samplesort import _choose_splitters, _distribute_blocks
-from .kernels import SLOW_REFERENCE, resolve_kernel
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel
 from .selection_sort import selection_sort
+
+register_kernel_entry(
+    "parallel-samplesort",
+    vectorized="repro.core.parallel_samplesort:parallel_samplesort",
+    slow_reference="repro.core.parallel_samplesort:parallel_samplesort",  # same entry point, kernel="slow_reference"
+)
 
 
 @dataclass

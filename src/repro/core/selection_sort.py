@@ -20,7 +20,13 @@ import heapq
 import math
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
-from .kernels import SLOW_REFERENCE, resolve_kernel, take_smallest
+from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel, take_smallest
+
+register_kernel_entry(
+    "selection",
+    vectorized="repro.core.selection_sort:selection_sort",
+    slow_reference="repro.core.selection_sort:selection_sort",  # same entry point, kernel="slow_reference"
+)
 
 
 def selection_sort(
@@ -99,7 +105,7 @@ def _selection_sort_slow(
         # In-memory work is free in the model; we use a bounded max-heap.
         working: list = []  # max-heap via negated keys
         for bi in range(arr.num_blocks):
-            if not arr._blocks[bi]:  # empty placeholder: nothing to transfer
+            if arr.block_len(bi) == 0:  # empty placeholder: nothing to transfer
                 continue
             block = machine.read_block(arr, bi, copy=False)
             for rec in block:

@@ -14,6 +14,20 @@ Two granularities are tracked independently:
 An algorithm typically exercises only one granularity, but mixed accounting is
 legal (e.g., the PRAM sort counts element operations while its analysis module
 converts them to cost).
+
+Validation asymmetry
+--------------------
+The single-charge methods (:meth:`CostCounter.charge_block_read` /
+:meth:`~CostCounter.charge_block_write`) are the per-event hot path — one
+call per block transfer — and stay **branch-free**: they accept any ``n``
+without checking it.  The batch methods (:meth:`~CostCounter.charge_reads` /
+:meth:`~CostCounter.charge_writes`) amortize one counter update over a whole
+scan, so their single branch is negligible and they reject negative counts
+(a negative batch would silently *uncharge* I/O, corrupting every downstream
+claim).  The asymmetry is deliberate; it is closed at test time by the
+``iosan`` sanitizer (:mod:`repro.analysis.iosan`), which patches the
+single-charge methods with validating versions so a negative ``n`` on any
+path raises under ``REPRO_IOSAN=1``.
 """
 
 from __future__ import annotations

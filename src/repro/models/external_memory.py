@@ -120,6 +120,20 @@ class ExtArray:
         """``ceil(length / B)`` — blocks a defragmented copy would occupy."""
         return -(-self.length // self.B)
 
+    def block_len(self, bi: int) -> int:
+        """Number of records resident in physical block ``bi`` — free metadata.
+
+        Block *lengths* are directory bookkeeping (the allocation table
+        records how full each block is), so reading one is not a transfer —
+        exactly like :attr:`num_blocks` and :attr:`length`.  Algorithms use
+        it to skip empty placeholder blocks and to locate a straddling block
+        without touching contents; the contents themselves only move through
+        the machine's charged transfer instructions.  This is the sanctioned
+        way to ask "how full is block ``bi``" — direct ``._blocks`` access
+        outside the model is flagged by the ``uncharged-io`` lint rule.
+        """
+        return len(self._blocks[bi])
+
     def compact(self) -> int:
         """Drop empty placeholder blocks; return how many were removed.
 

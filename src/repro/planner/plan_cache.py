@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from ..analysis.locksan import wrap_lock
 from ..models.params import MachineParams
 from .cost_model import SortPlan, plan_sort
 
@@ -38,7 +39,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._plans: OrderedDict[tuple, SortPlan] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "PlanCache._lock")
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -30,6 +30,8 @@ from __future__ import annotations
 import threading
 from concurrent.futures import CancelledError
 
+from ..analysis.locksan import wrap_condition
+
 PENDING = "PENDING"
 RUNNING = "RUNNING"
 CANCELLED = "CANCELLED"
@@ -70,7 +72,7 @@ class SortFuture:
         self.ticket = ticket
         self.job = job
         self.priority = priority
-        self._cond = threading.Condition()
+        self._cond = wrap_condition(threading.Condition(), "SortFuture._cond")
         self._state = PENDING
         self._result = None
         self._exception: BaseException | None = None

@@ -41,6 +41,7 @@ import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import CancelledError
 
+from ..analysis.locksan import wrap_condition
 from ..core.kernels import get_default_kernel
 from ..models.params import MachineParams
 from ..planner.batch import BatchReport, JobFailure, SortJob, execute_and_check
@@ -167,7 +168,7 @@ class SortService:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
 
-        self._cond = threading.Condition()
+        self._cond = wrap_condition(threading.Condition(), "SortService._cond")
         self._shared: list = []  # heap of (priority, seq, entry)
         self._pinned: list[list] = [[] for _ in range(workers)]
         self._seq = itertools.count()
@@ -488,7 +489,8 @@ class SortService:
         proc_handle = self._handles[index]
         if proc_handle is not None:
             stop_persistent_worker(*proc_handle)
-            self._handles[index] = None
+            with self._cond:
+                self._handles[index] = None
 
     def _respawn(self, index: int) -> None:
         proc, conn = self._handles[index]
@@ -503,12 +505,13 @@ class SortService:
         if not threading.main_thread().is_alive():
             # interpreter shutdown: forking now would leak an orphan that
             # outlives the parent; park the slot instead
-            self._handles[index] = None  # pragma: no cover - shutdown race
+            with self._cond:  # pragma: no cover - shutdown race
+                self._handles[index] = None
             return
-        self._handles[index] = spawn_persistent_worker(
-            self.constants, self._warm_entries
-        )
+        # fork outside the lock (slow); publish the new handle under it
+        handle = spawn_persistent_worker(self.constants, self._warm_entries)
         with self._cond:
+            self._handles[index] = handle
             self.respawns += 1
 
     # ------------------------------------------------------------------ #

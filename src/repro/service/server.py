@@ -43,6 +43,7 @@ import threading
 import time
 from concurrent.futures import CancelledError
 
+from ..analysis.locksan import wrap_lock
 from ..planner.batch import SortJob
 from .futures import SortFuture
 from .scheduler import SortService
@@ -102,7 +103,7 @@ class EngineServer:
         self._server = _TCPServer((host, port), _Handler)
         self._server.engine_server = self
         self._tickets: dict[int, SortFuture] = {}
-        self._lock = threading.Lock()
+        self._lock = wrap_lock(threading.Lock(), "EngineServer._lock")
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------ #
@@ -111,10 +112,12 @@ class EngineServer:
         return self._server.server_address[:2]
 
     def start(self) -> "EngineServer":
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._server.serve_forever, daemon=True, name="sort-serve"
         )
-        self._thread.start()
+        with self._lock:
+            self._thread = thread
+        thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -125,9 +128,10 @@ class EngineServer:
         owner — the CLI shuts it down, embedded users may keep it."""
         self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5)
 
     def __enter__(self) -> "EngineServer":
         return self
@@ -289,9 +293,11 @@ class ServiceClient:
     def request(self, payload: dict) -> dict:
         """Send one raw request object; return the raw reply object."""
         line = json.dumps(payload) + "\n"
+        # deliberate: the lock IS the request pipeline — it serializes the
+        # send/recv pair so concurrent callers cannot interleave replies
         with self._lock:
-            self._sock.sendall(line.encode("utf-8"))
-            reply = self._rfile.readline()
+            self._sock.sendall(line.encode("utf-8"))  # reprolint: disable=lock-discipline
+            reply = self._rfile.readline()  # reprolint: disable=lock-discipline
         if not reply:
             raise ConnectionError("server closed the connection")
         return json.loads(reply)

@@ -1,10 +1,34 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+``--iosan`` / ``--locksan`` run the whole session under the runtime
+sanitizers (equivalent to ``REPRO_IOSAN=1`` / ``REPRO_LOCKSAN=1`` in the
+environment, which is what CI uses so the setting reaches spawned worker
+processes too).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.models import AEMachine, CacheSim, CostCounter, MachineParams
+
+
+def pytest_addoption(parser):
+    parser.addoption("--iosan", action="store_true", default=False,
+                     help="enable the uncharged-I/O runtime sanitizer")
+    parser.addoption("--locksan", action="store_true", default=False,
+                     help="enable the lock-order recorder")
+
+
+def pytest_configure(config):
+    if config.getoption("--iosan"):
+        from repro.analysis import iosan
+
+        iosan.enable()
+    if config.getoption("--locksan"):
+        from repro.analysis import locksan
+
+        locksan.enable()
 
 
 @pytest.fixture

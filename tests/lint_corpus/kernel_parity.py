@@ -1,0 +1,32 @@
+# reprolint: path=src/repro/core/corpus_kernel_parity.py
+"""Planted violations: kernel-parity (5 findings)."""
+
+from repro.core.kernels import register_kernel_entry
+
+_DYNAMIC = "repro.core.phantom:phantom_sort"
+
+# VIOLATION: `phantom_sort` has no pin in tests/test_kernel_parity.py
+# (two findings — once per mode)
+register_kernel_entry(
+    "phantom",
+    vectorized="repro.core.phantom:phantom_sort",
+    slow_reference="repro.core.phantom:phantom_sort",
+)
+
+# VIOLATION: no slow_reference entry point declared
+register_kernel_entry("halfbaked", vectorized="repro.core.x:aem_mergesort")
+
+# VIOLATION: not a string literal — statically uncheckable
+register_kernel_entry("shifty", vectorized=_DYNAMIC,
+                      slow_reference="repro.core.x:aem_mergesort")
+
+# VIOLATION: not of the form "module:symbol"
+register_kernel_entry("formless", vectorized="repro.core.aem_mergesort",
+                      slow_reference="repro.core.x:aem_mergesort")
+
+# OK: both modes, both pinned (aem_mergesort is imported by the parity test)
+register_kernel_entry(
+    "wholesome",
+    vectorized="repro.core.aem_mergesort:aem_mergesort",
+    slow_reference="repro.core.aem_mergesort:aem_mergesort",
+)

@@ -1,0 +1,44 @@
+# reprolint: path=src/repro/core/corpus_loop_charge.py
+"""Planted violations: loop-charge (2 findings)."""
+
+SLOW_REFERENCE = "slow_reference"
+
+
+def per_record_scan(machine, arr):
+    for bi in range(arr.num_blocks):
+        # VIOLATION: single charge per iteration on the kernel path
+        machine.counter.charge_block_read()
+
+
+def per_record_emit(machine, records):
+    while records:
+        records.pop()
+        # VIOLATION: per-record write charge in a loop
+        machine.counter.charge_write()
+
+
+def batched_scan(machine, arr):
+    # OK: the PR-5 batch API, charged once outside the loop
+    machine.counter.charge_reads(arr.num_blocks)
+    for bi in range(arr.num_blocks):
+        pass
+
+
+def dual_kernel(machine, arr, kernel):
+    if kernel == SLOW_REFERENCE:
+        # OK: deliberate record-at-a-time path, I/O-identical by contract
+        for bi in range(arr.num_blocks):
+            machine.counter.charge_block_read()
+    else:
+        machine.counter.charge_reads(arr.num_blocks)
+
+
+def _merge_slow_reference(machine, arr):
+    # OK: slow-kernel function by naming convention
+    for bi in range(arr.num_blocks):
+        machine.counter.charge_block_read()
+
+
+def waived(machine, arr):
+    for bi in range(arr.num_blocks):
+        machine.counter.charge_block_read()  # reprolint: disable=loop-charge

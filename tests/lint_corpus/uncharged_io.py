@@ -1,0 +1,22 @@
+# reprolint: path=src/repro/core/corpus_uncharged_io.py
+"""Planted violations: uncharged-io (2 findings)."""
+
+
+def sneaky_total(arr):
+    # VIOLATION: reads physical storage without charging
+    return sum(len(blk) for blk in arr._blocks)
+
+
+def sneaky_poke(machine, addr, value):
+    # VIOLATION: writes primary memory behind the counter's back
+    machine._memory[addr] = value
+
+
+def legit_total(machine, arr):
+    # OK: the free-metadata accessor
+    return sum(machine.block_len(bi) for bi in range(arr.num_blocks))
+
+
+def waived_total(arr):
+    # OK: suppressed (the comment is the audit trail)
+    return len(arr._blocks)  # reprolint: disable=uncharged-io

@@ -209,3 +209,30 @@ class TestServe:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+class TestLintCommand:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src", "benchmarks"]
+        assert args.format == "text" and args.baseline is None
+
+    def test_lint_repaired_tree_exits_zero(self, capsys):
+        import os
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        rc = main(["lint", os.path.join(repo, "src"),
+                   os.path.join(repo, "benchmarks"), "--root", repo])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_lint_corpus_exits_one_with_findings(self, capsys):
+        import os
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        rc = main(["lint", os.path.join(repo, "tests", "lint_corpus"),
+                   "--root", repo, "--rule", "uncharged-io"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "uncharged-io" in out

@@ -1,0 +1,251 @@
+"""reprolint: framework behaviour, every rule proven on the planted
+corpus, and the repaired tree held at zero findings."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.analysis import lint_rules  # noqa: F401 — populates RULES
+from repro.analysis.reprolint import (
+    RULES,
+    Finding,
+    LintContext,
+    ModuleSource,
+    filter_baseline,
+    iter_python_files,
+    lint_paths,
+    load_baseline,
+    main,
+    save_baseline,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS = os.path.join(REPO, "tests", "lint_corpus")
+
+
+def lint_corpus_file(name: str) -> list[Finding]:
+    return lint_paths([os.path.join(CORPUS, name)], root=REPO)
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        assert set(RULES) == {
+            "uncharged-io",
+            "loop-charge",
+            "lock-discipline",
+            "kernel-parity",
+        }
+
+    def test_virtual_path_pragma(self):
+        m = ModuleSource(
+            "tests/lint_corpus/x.py",
+            "# reprolint: path=src/repro/core/fake.py\n",
+        )
+        assert m.virtual_path == "src/repro/core/fake.py"
+
+    def test_virtual_path_defaults_to_real(self):
+        m = ModuleSource("src/repro/core/real.py", "x = 1\n")
+        assert m.virtual_path == "src/repro/core/real.py"
+
+    def test_suppression_named_and_blanket(self):
+        m = ModuleSource(
+            "f.py",
+            "a = 1  # reprolint: disable=uncharged-io\n"
+            "b = 2  # reprolint: disable\n"
+            "c = 3\n",
+        )
+        assert m.suppressed("uncharged-io", 1)
+        assert not m.suppressed("loop-charge", 1)
+        assert m.suppressed("anything", 2)
+        assert not m.suppressed("uncharged-io", 3)
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "note.txt").write_text("not python\n")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert [os.path.basename(f) for f in files] == ["a.py"]
+
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(KeyError):
+            lint_paths([CORPUS], root=REPO, rules=["no-such-rule"])
+
+
+class TestCorpus:
+    def test_uncharged_io_fires(self):
+        findings = lint_corpus_file("uncharged_io.py")
+        assert rules_of(findings) == ["uncharged-io"] * 2
+        assert {"_blocks", "_memory"} == {
+            "_memory" if "_memory" in f.message else "_blocks" for f in findings
+        }
+
+    def test_loop_charge_fires_and_exempts_slow_paths(self):
+        findings = lint_corpus_file("loop_charge.py")
+        assert rules_of(findings) == ["loop-charge"] * 2
+        # the SLOW_REFERENCE branch and the *_slow_reference function hold
+        # identical loops that must NOT fire
+        assert all("charge_block_read" in f.message or "charge_write" in f.message
+                   for f in findings)
+
+    def test_lock_discipline_fires(self):
+        findings = lint_corpus_file("lock_discipline.py")
+        assert rules_of(findings) == ["lock-discipline"] * 3
+        messages = " | ".join(f.message for f in findings)
+        assert "self.jobs" in messages
+        assert "self.slots" in messages
+        assert "result(...)" in messages
+
+    def test_kernel_parity_fires(self):
+        findings = lint_corpus_file("kernel_parity.py")
+        assert rules_of(findings) == ["kernel-parity"] * 5
+        messages = " | ".join(f.message for f in findings)
+        assert "phantom_sort" in messages
+        assert "slow_reference=" in messages
+        assert "string literal" in messages
+        assert "module:symbol" in messages
+
+    def test_clean_file_is_clean(self):
+        assert lint_corpus_file("clean.py") == []
+
+    def test_findings_carry_virtual_paths(self):
+        findings = lint_corpus_file("uncharged_io.py")
+        assert all(f.path.startswith("src/repro/core/") for f in findings)
+
+
+class TestRepairedTree:
+    def test_src_and_benchmarks_are_clean(self):
+        findings = lint_paths(
+            [os.path.join(REPO, "src"), os.path.join(REPO, "benchmarks")],
+            root=REPO,
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(os.path.join(REPO, "tests", "lint_baseline.json"))
+        assert baseline == []
+
+
+class TestBaseline:
+    def test_round_trip_filters_everything(self, tmp_path):
+        findings = lint_corpus_file("lock_discipline.py")
+        assert findings
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), findings)
+        assert filter_baseline(findings, load_baseline(str(path))) == []
+
+    def test_new_findings_survive_the_filter(self, tmp_path):
+        findings = lint_corpus_file("lock_discipline.py")
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), findings[:-1])
+        remaining = filter_baseline(findings, load_baseline(str(path)))
+        assert remaining == [findings[-1]]
+
+    def test_fingerprint_ignores_line_drift(self):
+        f = Finding("r", "p.py", 10, 0, "msg")
+        g = Finding("r", "p.py", 99, 4, "msg")
+        assert f.fingerprint == g.fingerprint
+        assert filter_baseline([g], [f.to_dict()]) == []
+
+
+class TestCLI:
+    def test_corpus_exits_one(self, capsys):
+        rc = main([CORPUS, "--root", REPO])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "reprolint: 12 findings" in out
+
+    def test_json_format(self, capsys):
+        rc = main([CORPUS, "--root", REPO, "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 12
+        assert {"rule", "path", "line", "col", "message"} <= set(payload[0])
+
+    def test_single_rule_selection(self, capsys):
+        rc = main([CORPUS, "--root", REPO, "--rule", "uncharged-io",
+                   "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {e["rule"] for e in payload} == {"uncharged-io"}
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        baseline = str(tmp_path / "b.json")
+        assert main([CORPUS, "--root", REPO, "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        rc = main([CORPUS, "--root", REPO, "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_missing_baseline_is_usage_error(self):
+        assert main([CORPUS, "--root", REPO,
+                     "--baseline", "/nonexistent/b.json"]) == 2
+
+    def test_repro_lint_subcommand(self, capsys):
+        rc = cli_main(["lint", os.path.join(REPO, "src"),
+                       os.path.join(REPO, "benchmarks"), "--root", REPO])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_module_invocation_matches_acceptance_command(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "benchmarks"],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestKernelRegistryCompleteness:
+    def test_every_kernel_registered_with_both_modes(self):
+        import repro.core  # noqa: F401 — registration side effects
+
+        from repro.core.kernels import KERNEL_ENTRIES, SLOW_REFERENCE, VECTORIZED
+
+        expected = {
+            "mergesort", "samplesort", "heapsort", "selection",
+            "em2way", "buffer-tree", "parallel-samplesort",
+        }
+        assert set(KERNEL_ENTRIES) == expected
+        for name, modes in KERNEL_ENTRIES.items():
+            assert set(modes) == {VECTORIZED, SLOW_REFERENCE}, name
+
+    def test_registered_symbols_are_pinned_in_parity_tests(self):
+        import repro.core  # noqa: F401
+
+        from repro.core.kernels import KERNEL_ENTRIES
+
+        parity = open(os.path.join(REPO, "tests", "test_kernel_parity.py"),
+                      encoding="utf-8").read()
+        for name, modes in KERNEL_ENTRIES.items():
+            for spec in modes.values():
+                symbol = spec.rsplit(":", 1)[1]
+                assert symbol in parity, (name, symbol)
+
+    def test_registered_entry_points_import(self):
+        import importlib
+
+        import repro.core  # noqa: F401
+
+        from repro.core.kernels import KERNEL_ENTRIES
+
+        for modes in KERNEL_ENTRIES.values():
+            for spec in modes.values():
+                mod_name, symbol = spec.rsplit(":", 1)
+                mod = importlib.import_module(mod_name)
+                assert hasattr(mod, symbol), spec
