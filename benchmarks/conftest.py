@@ -33,12 +33,31 @@ RESULTS_DIR = os.environ.get(
     "BENCH_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
 )
 
+#: checked-in contract for the record shape — tests validate the committed
+#: records against it, and emit_bench_json validates at write time so a
+#: malformed record fails the emitting bench, not a later consumer
+BENCH_RECORD_SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "bench_record.schema.json"
+)
+
+
+def load_bench_record_schema() -> dict:
+    with open(BENCH_RECORD_SCHEMA_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
 
 def emit_bench_json(name: str, payload: dict) -> str:
-    """Write one machine-readable ``BENCH_<name>.json`` record; return path."""
+    """Write one machine-readable ``BENCH_<name>.json`` record; return path.
+
+    The record is validated against ``bench_record.schema.json`` first — a
+    bench emitting a malformed record fails here, at the source.
+    """
+    from repro.analysis.schema import validate
+
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
     record = {"bench": name, "generated_utc": _utcnow(), **payload}
+    validate(record, load_bench_record_schema())
     with open(path, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")

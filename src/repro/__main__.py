@@ -46,6 +46,8 @@ constants set serves every job of a command invocation.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 import time
@@ -379,6 +381,94 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_machines(spec: str) -> tuple[MachineParams, ...]:
+    """``"64:8:8,256:16:4"`` → machine tuple (M:B:omega per entry)."""
+    machines = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"bad machine spec {chunk!r} (want M:B:omega)")
+        m, b, w = (int(p) for p in parts)
+        machines.append(MachineParams(M=m, B=b, omega=w))
+    if not machines:
+        raise ValueError(f"no machines in {spec!r}")
+    return tuple(machines)
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .analysis import boundcheck
+
+    kernels = None
+    if args.kernels:
+        kernels = [s.strip() for s in args.kernels.split(",") if s.strip()]
+    machines = sizes = None
+    try:
+        if args.machines:
+            machines = _parse_machines(args.machines)
+        if args.sizes:
+            sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError as exc:
+        print(f"certify: error: {exc}", file=sys.stderr)
+        return 2
+
+    t0 = time.time()
+    try:
+        result = boundcheck.certify(
+            kernels=kernels,
+            machines=machines,
+            sizes=sizes,
+            quick=args.quick,
+            seed=args.seed,
+            use_iosan=not args.no_iosan,
+        )
+    except (KeyError, boundcheck.CertificationError) as exc:
+        print(f"certify: error: {exc}", file=sys.stderr)
+        return 2
+    paths = boundcheck.write_certificates(result, args.out)
+
+    if args.format == "json":
+        record = {
+            "passed": result.ok,
+            "registry_errors": list(result.registry_errors),
+            "failures": result.failures(),
+            "artifacts": paths,
+        }
+        json.dump(record, sys.stdout, indent=2)
+        print()
+    else:
+        rows = []
+        for cert in result.certificates:
+            for mc in cert.machines:
+                bad = sum(len(s.failures) for s in mc.samples)
+                rows.append(
+                    {
+                        "kernel": cert.kernel,
+                        "theorem": cert.theorem,
+                        "kind": cert.kind,
+                        "machine": f"M={mc.params.M} B={mc.params.B} w={mc.params.omega}",
+                        "read const": round(mc.read_constant, 3),
+                        "write const": round(mc.write_constant, 3),
+                        "samples": len(mc.samples),
+                        "violations": bad,
+                    }
+                )
+        print(format_table(rows, title="theorem-envelope certification"))
+        for err in result.registry_errors:
+            print(f"REGISTRY: {err}")
+        for line in result.failures():
+            print(f"FAILED: {line}")
+        verdict = "PASSED" if result.ok else "FAILED"
+        print(
+            f"\ncertify {verdict}: {len(result.certificates)} kernel(s), "
+            f"{len(paths)} artifact(s) in {args.out} "
+            f"[{time.time() - t0:.1f}s]"
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import reprolint
 
@@ -390,6 +480,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--write-baseline", args.write_baseline]
     for name in args.rules or ():
         argv += ["--rule", name]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.cache_file:
+        argv += ["--cache-file", args.cache_file]
     return reprolint.main(argv)
 
 
@@ -520,6 +616,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="calibrated-constants JSON (from `calibrate --save`)")
     p_serve.set_defaults(fn=_cmd_serve)
 
+    p_cert = sub.add_parser(
+        "certify",
+        help="certify measured kernel costs against their theorem envelopes",
+    )
+    p_cert.add_argument("--quick", action="store_true",
+                        help="reduced machine/size grid for CI smoke runs")
+    p_cert.add_argument("--kernels", default=None, metavar="K1,K2,...",
+                        help="comma-separated kernel names (default: every "
+                             "contracted kernel)")
+    p_cert.add_argument("--sizes", default=None, metavar="N1,N2,...",
+                        help="comma-separated input sizes (default: contract grid)")
+    p_cert.add_argument("--machines", default=None, metavar="M:B:w,...",
+                        help="comma-separated machine specs, M:B:omega each "
+                             "(default: contract grid)")
+    p_cert.add_argument("--seed", type=int, default=1)
+    p_cert.add_argument("--out", default=os.path.join("benchmarks", "results"),
+                        metavar="DIR",
+                        help="directory for CERT_*.json artifacts "
+                             "(default: benchmarks/results)")
+    p_cert.add_argument("--no-iosan", action="store_true",
+                        help="skip the uncharged-I/O sanitizer during runs")
+    p_cert.add_argument("--format", choices=["text", "json"], default="text")
+    p_cert.set_defaults(fn=_cmd_certify)
+
     p_lint = sub.add_parser(
         "lint",
         help="run the repo's cost-accounting / lock-discipline linter",
@@ -535,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write current findings to FILE and exit 0")
     p_lint.add_argument("--root", default=".",
                         help="repo root for scoped rule paths")
+    p_lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint stale files across N worker processes")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="disable the mtime-keyed findings cache")
+    p_lint.add_argument("--cache-file", default=None, metavar="FILE",
+                        help="cache location (default: <root>/.reprolint_cache.json)")
     p_lint.set_defaults(fn=_cmd_lint)
     return parser
 

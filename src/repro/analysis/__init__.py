@@ -1,27 +1,46 @@
 """Closed-form theorem bounds, Appendix-A k-tuning, table rendering — and
 the repo's self-checking layer: the :mod:`~repro.analysis.reprolint` static
-linter plus the :mod:`~repro.analysis.iosan` (uncharged-I/O) and
-:mod:`~repro.analysis.locksan` (lock-order) runtime sanitizers.
+linter, the :mod:`~repro.analysis.iosan` (uncharged-I/O) and
+:mod:`~repro.analysis.locksan` (lock-order) runtime sanitizers, and the
+:mod:`~repro.analysis.boundcheck` paper-bound certifier (static cost
+contracts + theorem-envelope certification).
 
 Import discipline: this package must stay importable from anywhere in the
 tree (the service and planner layers pull :func:`wrap_lock` /
 :func:`wrap_condition` at import time), so it may depend on
 :mod:`repro.models` but never on :mod:`repro.core`, ``planner``, ``service``
-or ``engine``.
+or ``engine`` — :mod:`~repro.analysis.boundcheck` reaches those layers only
+lazily, inside its runner and registry functions.
 """
 
-from . import iosan, locksan
+from . import boundcheck, formulas, iosan, locksan, recurrences, schema
+from .boundcheck import (
+    CONTRACTS,
+    CertifyResult,
+    CostContract,
+    certify,
+    certify_kernel,
+    charge_site_map,
+    declare_contract,
+    registry_errors,
+    write_certificates,
+)
 from .formulas import (
     co_sort_reads,
     co_sort_writes,
+    em2way_transfers,
     em_sort_transfers,
     matmul_co_reads,
     matmul_co_writes,
     mergesort_reads,
     mergesort_writes,
+    pq_sort_reads,
+    pq_sort_writes,
     pram_sort_depth,
     pram_sort_reads,
     pram_sort_writes,
+    selection_sort_reads,
+    selection_sort_writes,
 )
 from .ktuning import choose_k, feasible_k_region, k_improves, sweep_k
 from .recurrences import (
@@ -41,18 +60,28 @@ from .locksan import (
 from .tables import format_table
 
 __all__ = [
+    "CONTRACTS",
+    "CertifyResult",
+    "CostContract",
     "LockOrderError",
     "SealedBlock",
     "UnchargedIOError",
+    "boundcheck",
+    "certify",
+    "certify_kernel",
+    "charge_site_map",
     "choose_k",
     "co_sort_read_recurrence",
     "co_sort_reads",
     "co_sort_write_recurrence",
     "co_sort_writes",
+    "declare_contract",
+    "em2way_transfers",
     "em_sort_transfers",
     "feasible_k_region",
     "fft_write_recurrence",
     "format_table",
+    "formulas",
     "iosan",
     "iosan_enabled",
     "k_improves",
@@ -64,9 +93,16 @@ __all__ = [
     "matmul_write_recurrence_randomized",
     "mergesort_reads",
     "mergesort_writes",
+    "pq_sort_reads",
+    "pq_sort_writes",
     "pram_sort_depth",
     "pram_sort_reads",
     "pram_sort_writes",
+    "recurrences",
+    "registry_errors",
+    "schema",
+    "selection_sort_reads",
+    "selection_sort_writes",
     "sweep_k",
     "wrap_condition",
     "wrap_lock",

@@ -74,6 +74,41 @@ def samplesort_writes(n: int, M: int, B: int, k: int) -> float:
     return math.ceil(n / B) * mergesort_levels(n, M, B, k)
 
 
+def selection_sort_reads(n: int, M: int, B: int) -> float:
+    """Lemma 4.2 (exact upper bound): ``ceil(n/M)`` full scans of the
+    input, each ``ceil(n/B)`` block reads (one scan selects the next
+    memory-load of smallest records)."""
+    return max(1, math.ceil(n / M)) * math.ceil(n / B)
+
+
+def selection_sort_writes(n: int, B: int) -> float:
+    """Lemma 4.2 (exact upper bound): the output is written once,
+    ``ceil(n/B)`` block writes total."""
+    return float(math.ceil(n / B))
+
+
+def em2way_transfers(n: int, M: int, B: int) -> float:
+    """Classic 2-way EM mergesort (§4.2's sample-sort subroutine), per
+    currency: one scan to form the ``ceil(n/M)`` base runs plus one scan
+    per binary merge level, ``ceil(n/B) (1 + ceil(log2(n/M)))`` —
+    reads and writes are symmetric (exact upper bound, met with equality
+    on power-of-two run counts)."""
+    levels = 1 + max(0, math.ceil(math.log2(max(1.0, n / M))))
+    return math.ceil(n / B) * levels
+
+
+def pq_sort_reads(n: int, M: int, B: int, k: int) -> float:
+    """Theorem 4.10's sorting corollary: ``n`` INSERTs + ``n`` DELETE-MINs
+    at the amortized per-operation read cost (unit constant)."""
+    return 2 * n * pq_amortized_reads(n, M, B, k)
+
+
+def pq_sort_writes(n: int, M: int, B: int, k: int) -> float:
+    """Theorem 4.10's sorting corollary: ``2n`` operations at the
+    amortized per-operation write cost (unit constant)."""
+    return 2 * n * pq_amortized_writes(n, M, B, k)
+
+
 def pq_amortized_reads(n: int, M: int, B: int, k: int) -> float:
     """Theorem 4.10: ``O((k/B)(1 + log_{kM/B} n))`` per operation."""
     return (k / B) * (1 + _log(n, k * M / B))

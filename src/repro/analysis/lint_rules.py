@@ -57,6 +57,13 @@ _BLOCKING_CALLS = (
 #: where the vectorized/slow-reference pins live
 _PARITY_TEST_FILE = "tests/test_kernel_parity.py"
 
+#: where the cost contracts are declared (parsed statically, never imported)
+_BOUNDCHECK_FILE = "src/repro/analysis/boundcheck.py"
+
+#: modules whose block-granularity charges must be reachable from a
+#: contracted kernel entry point
+_ORPHAN_CHARGE_SCOPE = ("src/repro/core/",)
+
 
 def _in_scope(module: ModuleSource, prefixes=(), files=()) -> bool:
     vp = module.virtual_path
@@ -380,3 +387,242 @@ def check_kernel_parity(module: ModuleSource, ctx: LintContext):
                         "vectorized/slow_reference parity test"
                     ),
                 )
+
+
+# --------------------------------------------------------------------------- #
+# missing-cost-contract
+# --------------------------------------------------------------------------- #
+def _declared_contracts(ctx: LintContext) -> dict | None:
+    """``kernel -> theorem`` parsed from the ``declare_contract(...)`` calls
+    in boundcheck.py (None when the file is unreadable/unparseable).  The
+    declarations use literal names precisely so this never imports anything;
+    cached on the run's context."""
+    sentinel = getattr(ctx, "_declared_contracts_cache", False)
+    if sentinel is not False:
+        return sentinel
+    declared = None
+    text = ctx.read_file(_BOUNDCHECK_FILE)
+    if text is not None:
+        try:
+            tree = ast.parse(text, filename=_BOUNDCHECK_FILE)
+        except SyntaxError:
+            tree = None
+        if tree is not None:
+            declared = {}
+            for node in ast.walk(tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _call_name(node) == "declare_contract"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    continue
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "theorem"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        declared[node.args[0].value] = kw.value.value
+    ctx._declared_contracts_cache = declared
+    return declared
+
+
+@rule(
+    "missing-cost-contract",
+    "every register_kernel_entry call must carry a literal contract= theorem "
+    "label matching the kernel's declare_contract(...) declaration in "
+    "repro.analysis.boundcheck — unbound kernels escape cost certification",
+)
+def check_missing_cost_contract(module: ModuleSource, ctx: LintContext):
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and _call_name(node) == "register_kernel_entry"
+        ):
+            continue
+        value = next(
+            (kw.value for kw in node.keywords if kw.arg == "contract"), None
+        )
+        if (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            who = f"kernel `{node.args[0].value}` registered"
+        else:
+            who = "register_kernel_entry"
+        if value is None:
+            yield Finding(
+                rule="missing-cost-contract",
+                path=module.virtual_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{who} without a `contract=` paper-bound "
+                    "label — every registered kernel must be bound to a "
+                    f"declare_contract(...) in {_BOUNDCHECK_FILE} so "
+                    "`repro certify` covers it"
+                ),
+            )
+            continue
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+            yield Finding(
+                rule="missing-cost-contract",
+                path=module.virtual_path,
+                line=value.lineno,
+                col=value.col_offset,
+                message=(
+                    "`contract=` must be a string literal (theorem label) so "
+                    "the contract binding is statically checkable"
+                ),
+            )
+            continue
+        if not (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue  # unnameable registration — kernel-parity territory
+        kernel = node.args[0].value
+        declared = _declared_contracts(ctx)
+        if declared is None:
+            yield Finding(
+                rule="missing-cost-contract",
+                path=module.virtual_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"cannot parse {_BOUNDCHECK_FILE} to cross-check the "
+                    "contract declaration"
+                ),
+            )
+        elif kernel not in declared:
+            yield Finding(
+                rule="missing-cost-contract",
+                path=module.virtual_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"kernel `{kernel}` has no declare_contract(...) "
+                    f"declaration in {_BOUNDCHECK_FILE} — declare its "
+                    "theorem envelope before registering it"
+                ),
+            )
+        elif declared[kernel] != value.value:
+            yield Finding(
+                rule="missing-cost-contract",
+                path=module.virtual_path,
+                line=value.lineno,
+                col=value.col_offset,
+                message=(
+                    f"contract label {value.value!r} does not match the "
+                    f"declared theorem {declared[kernel]!r} for kernel "
+                    f"`{kernel}` in {_BOUNDCHECK_FILE}"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# orphan-charge
+# --------------------------------------------------------------------------- #
+def _charge_base_summaries(ctx: LintContext) -> dict:
+    """Charge-map summaries of the real in-scope tree, cached per run."""
+    cached = getattr(ctx, "_charge_summaries_cache", None)
+    if cached is not None:
+        return cached
+    from .boundcheck import charge_scope_files, summarize_source
+
+    summaries = {}
+    for rel in charge_scope_files(ctx.root):
+        text = ctx.read_file(rel)
+        if text is None:
+            continue
+        try:
+            tree = ast.parse(text, filename=rel)
+        except SyntaxError:
+            continue
+        summaries[rel] = summarize_source(rel, tree)
+    ctx._charge_summaries_cache = summaries
+    return summaries
+
+
+@rule(
+    "orphan-charge",
+    "block-granularity charge_* call sites in core code must be statically "
+    "reachable from a contracted kernel entry point — orphaned charges are "
+    "cost accounting no certificate ever exercises",
+)
+def check_orphan_charge(module: ModuleSource, ctx: LintContext):
+    if not _in_scope(module, prefixes=_ORPHAN_CHARGE_SCOPE):
+        return
+    from .boundcheck import analyze_summaries, summarize_source
+
+    summaries = dict(_charge_base_summaries(ctx))
+    # overlay the module under lint (it may exist only as corpus text, or
+    # be an edited version of a real file)
+    summaries[module.virtual_path] = summarize_source(
+        module.virtual_path, module.tree
+    )
+    charge_map = analyze_summaries(list(summaries.values()))
+    for site in charge_map.orphans:
+        if site.path != module.virtual_path:
+            continue
+        yield Finding(
+            rule="orphan-charge",
+            path=site.path,
+            line=site.line,
+            col=site.col,
+            message=(
+                f"block-granularity `{site.method}` in `{site.function}` is "
+                "reachable from no contracted kernel entry point — dead cost "
+                "accounting that `repro certify` never exercises (wire it to "
+                "a registered entry or remove it)"
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# bench-emit
+# --------------------------------------------------------------------------- #
+@rule(
+    "bench-emit",
+    "every bench_* scenario in benchmarks/bench_*.py must route its results "
+    "into the BENCH_* trajectory — take the `benchmark` fixture (the autouse "
+    "conftest hook emits for it) or call emit_bench_json directly",
+)
+def check_bench_emit(module: ModuleSource, ctx: LintContext):
+    vp = module.virtual_path
+    basename = vp.rsplit("/", 1)[-1]
+    if not (
+        vp.startswith("benchmarks/")
+        and basename.startswith("bench_")
+        and basename.endswith(".py")
+    ):
+        return
+    for node in module.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not node.name.startswith("bench_"):
+            continue
+        args = node.args
+        params = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        if "benchmark" in params:
+            continue
+        if any(
+            isinstance(sub, ast.Call) and _call_name(sub) == "emit_bench_json"
+            for sub in ast.walk(node)
+        ):
+            continue
+        yield Finding(
+            rule="bench-emit",
+            path=vp,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"bench scenario `{node.name}` neither takes the `benchmark` "
+                "fixture nor calls emit_bench_json — its results silently "
+                "drop out of the BENCH_* trajectory"
+            ),
+        )

@@ -1,0 +1,117 @@
+"""A minimal JSON-Schema-subset validator for the repo's machine-readable
+artifacts (``BENCH_*.json`` benchmark records, ``CERT_*.json`` cost
+certificates).
+
+The container deliberately ships no third-party ``jsonschema``; the records
+we emit only need a small, stable subset — ``type``, ``required``,
+``properties``, ``additionalProperties``, ``items``, ``enum``, ``minimum``
+— so this module implements exactly that subset and nothing more.  Schemas
+using unsupported keywords fail loudly (:class:`SchemaError` at validation
+time), never silently pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["SchemaError", "ValidationError", "validate"]
+
+#: keywords this validator implements; anything else in a schema is an error
+_SUPPORTED_KEYWORDS = {
+    "type",
+    "required",
+    "properties",
+    "additionalProperties",
+    "items",
+    "enum",
+    "minimum",
+    # annotation-only keywords, accepted and ignored
+    "$schema",
+    "title",
+    "description",
+}
+
+_TYPES = {
+    "object": Mapping,
+    "array": (list, tuple),
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The schema itself is malformed or uses an unsupported keyword."""
+
+
+class ValidationError(ValueError):
+    """The instance does not conform to the schema.
+
+    ``path`` is a ``$.dotted[3].path`` into the failing instance node.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+def _type_ok(value, type_name: str) -> bool:
+    py = _TYPES.get(type_name)
+    if py is None:
+        raise SchemaError(f"unknown type {type_name!r}")
+    if type_name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; schemas mean arithmetic numbers
+    return isinstance(value, py)
+
+
+def validate(instance, schema: Mapping, path: str = "$") -> None:
+    """Raise :class:`ValidationError` unless ``instance`` conforms."""
+    if not isinstance(schema, Mapping):
+        raise SchemaError(f"schema at {path} must be a mapping")
+    unsupported = set(schema) - _SUPPORTED_KEYWORDS
+    if unsupported:
+        raise SchemaError(
+            f"schema at {path} uses unsupported keyword(s) {sorted(unsupported)}"
+        )
+
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(instance, name) for name in names):
+            raise ValidationError(
+                path, f"expected {' or '.join(names)}, got {type(instance).__name__}"
+            )
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ValidationError(path, f"{instance!r} not in enum {schema['enum']!r}")
+
+    if "minimum" in schema:
+        if not isinstance(instance, (int, float)) or isinstance(instance, bool):
+            raise ValidationError(path, "minimum applies to numbers only")
+        if instance < schema["minimum"]:
+            raise ValidationError(path, f"{instance!r} < minimum {schema['minimum']!r}")
+
+    if isinstance(instance, Mapping):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise ValidationError(path, f"missing required property {name!r}")
+        props = schema.get("properties", {})
+        for name, sub in props.items():
+            if name in instance:
+                validate(instance[name], sub, f"{path}.{name}")
+        extra = schema.get("additionalProperties", True)
+        if extra is False:
+            unknown = sorted(set(instance) - set(props))
+            if unknown:
+                raise ValidationError(path, f"unexpected propert(ies) {unknown}")
+        elif isinstance(extra, Mapping):
+            for name in set(instance) - set(props):
+                validate(instance[name], extra, f"{path}.{name}")
+
+    if isinstance(instance, Sequence) and not isinstance(instance, (str, bytes)):
+        items = schema.get("items")
+        if isinstance(items, Mapping):
+            for i, element in enumerate(instance):
+                validate(element, items, f"{path}[{i}]")

@@ -35,6 +35,7 @@ register_kernel_entry(
     "heapsort",
     vectorized="repro.core.aem_heapsort:aem_heapsort",
     slow_reference="repro.core.aem_heapsort:aem_heapsort",  # same entry point, kernel="slow_reference"
+    contract="Theorem 4.10",
 )
 
 

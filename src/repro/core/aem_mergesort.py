@@ -58,6 +58,7 @@ register_kernel_entry(
     "mergesort",
     vectorized="repro.core.aem_mergesort:aem_mergesort",
     slow_reference="repro.core.aem_mergesort:aem_mergesort",  # same entry point, kernel="slow_reference"
+    contract="Theorem 4.3",
 )
 
 

@@ -36,6 +36,7 @@ register_kernel_entry(
     "samplesort",
     vectorized="repro.core.aem_samplesort:aem_samplesort",
     slow_reference="repro.core.aem_samplesort:aem_samplesort",  # same entry point, kernel="slow_reference"
+    contract="Theorem 4.5",
 )
 
 

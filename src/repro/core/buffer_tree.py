@@ -52,6 +52,7 @@ register_kernel_entry(
     "buffer-tree",
     vectorized="repro.core.buffer_tree:BufferTree",
     slow_reference="repro.core.buffer_tree:BufferTree",  # same entry point, kernel="slow_reference"
+    contract="Theorem 4.10",
 )
 
 

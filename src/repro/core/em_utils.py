@@ -24,6 +24,7 @@ register_kernel_entry(
     "em2way",
     vectorized="repro.core.em_utils:em_two_way_mergesort",
     slow_reference="repro.core.em_utils:em_two_way_mergesort",  # same entry point, kernel="slow_reference"
+    contract="Section 4.2 (2-way EM mergesort)",
 )
 
 

@@ -94,9 +94,18 @@ def kernel_mode(mode: str):
 #: module via :func:`register_kernel_entry`.
 KERNEL_ENTRIES: dict[str, dict[str, str]] = {}
 
+#: cost-contract metadata, parallel to :data:`KERNEL_ENTRIES` so the mode
+#: dict keeps its exact ``{vectorized, slow_reference}`` shape:
+#: ``name -> theorem label`` matching the kernel's ``declare_contract``
+#: declaration in :mod:`repro.analysis.boundcheck`.  Populated by the
+#: ``contract=`` argument of :func:`register_kernel_entry`; the
+#: ``missing-cost-contract`` lint rule fails any registration without it.
+KERNEL_CONTRACTS: dict[str, str] = {}
+
 
 def register_kernel_entry(name: str, *, vectorized: str,
-                          slow_reference: str) -> None:
+                          slow_reference: str,
+                          contract: str | None = None) -> None:
     """Declare one kernel-dispatched sort path and its mode pair.
 
     ``vectorized`` and ``slow_reference`` are ``"module:callable"``
@@ -105,7 +114,15 @@ def register_kernel_entry(name: str, *, vectorized: str,
     the contract the ``kernel-parity`` lint rule enforces statically: every
     registered entry must name a ``slow_reference`` counterpart, and the
     vectorized callable must be pinned by ``tests/test_kernel_parity.py``.
-    Arguments must be string literals so the rule can check them without
+
+    ``contract`` is the paper-bound label (e.g. ``"Theorem 4.3"``) binding
+    this kernel to its cost contract in
+    :mod:`repro.analysis.boundcheck` — it must equal the ``theorem=`` of
+    the kernel's ``declare_contract`` declaration there, and the
+    ``missing-cost-contract`` lint rule plus ``python -m repro certify``
+    both fail when it is absent or mismatched.
+
+    Arguments must be string literals so the rules can check them without
     importing anything.
     """
     if not vectorized or not slow_reference:
@@ -117,6 +134,10 @@ def register_kernel_entry(name: str, *, vectorized: str,
         VECTORIZED: vectorized,
         SLOW_REFERENCE: slow_reference,
     }
+    if contract is not None:
+        KERNEL_CONTRACTS[name] = contract
+    else:
+        KERNEL_CONTRACTS.pop(name, None)
 
 
 def take_smallest(blocks, take: int, lo=None) -> list:

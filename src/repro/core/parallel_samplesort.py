@@ -41,6 +41,7 @@ register_kernel_entry(
     "parallel-samplesort",
     vectorized="repro.core.parallel_samplesort:parallel_samplesort",
     slow_reference="repro.core.parallel_samplesort:parallel_samplesort",  # same entry point, kernel="slow_reference"
+    contract="Theorem 4.5",
 )
 
 

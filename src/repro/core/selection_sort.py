@@ -26,6 +26,7 @@ register_kernel_entry(
     "selection",
     vectorized="repro.core.selection_sort:selection_sort",
     slow_reference="repro.core.selection_sort:selection_sort",  # same entry point, kernel="slow_reference"
+    contract="Lemma 4.2",
 )
 
 

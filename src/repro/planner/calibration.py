@@ -202,13 +202,23 @@ def fit_constants(samples: Sequence[CalibrationSample]) -> CostConstants:
     return CostConstants.from_mapping(mapping)
 
 
-def _ls_through_origin(pairs: Sequence[tuple[float, float]]) -> float:
-    """``argmin_c sum (m - c p)^2`` over ``(measured, predicted)`` pairs."""
+def ls_through_origin(pairs: Sequence[tuple[float, float]]) -> float:
+    """``argmin_c sum (m - c p)^2`` over ``(measured, predicted)`` pairs.
+
+    Degenerate inputs (all-zero predictions, or a non-positive cross term)
+    keep the unit constant — there is nothing to fit.  Public because the
+    cost certifier (:mod:`repro.analysis.boundcheck`) fits its per-machine
+    envelope constants with exactly this estimator.
+    """
     num = sum(m * p for m, p in pairs)
     den = sum(p * p for _, p in pairs)
     if den == 0 or num <= 0:
         return 1.0
     return num / den
+
+
+#: historical private name, kept for callers predating the certifier
+_ls_through_origin = ls_through_origin
 
 
 def calibrate(

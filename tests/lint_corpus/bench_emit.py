@@ -1,0 +1,22 @@
+# reprolint: path=benchmarks/bench_corpus.py
+"""Planted violations: bench-emit (1 finding)."""
+
+
+def bench_silent_scenario():
+    # VIOLATION: no benchmark fixture, no emit_bench_json — the scenario's
+    # results never reach the BENCH_* trajectory
+    return _run_workload()
+
+
+def bench_with_fixture(benchmark):
+    # OK: the autouse conftest hook emits BENCH_*.json from benchmark.stats
+    benchmark(_run_workload)
+
+
+def bench_explicit_emit():
+    # OK: routes its record through emit_bench_json directly
+    emit_bench_json("corpus", {"ok": True})
+
+
+def _run_workload():
+    return 1

@@ -1,7 +1,22 @@
 # reprolint: path=src/repro/core/corpus_loop_charge.py
-"""Planted violations: loop-charge (2 findings)."""
+"""Planted violations: loop-charge (2 findings).
+
+``aem_mergesort`` below shares its name with a contracted entry symbol so
+every helper here is charge-map-reachable — orphan-charge (exercised by
+``orphan_charge.py``) must stay silent on this file's planted loops.
+"""
 
 SLOW_REFERENCE = "slow_reference"
+
+
+def aem_mergesort(machine, arr):
+    # entry-symbol name: seeds reachability for every helper below
+    per_record_scan(machine, arr)
+    per_record_emit(machine, list(arr))
+    batched_scan(machine, arr)
+    dual_kernel(machine, arr, SLOW_REFERENCE)
+    _merge_slow_reference(machine, arr)
+    waived(machine, arr)
 
 
 def per_record_scan(machine, arr):

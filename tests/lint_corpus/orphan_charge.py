@@ -1,0 +1,31 @@
+# reprolint: path=src/repro/core/corpus_orphan_charge.py
+"""Planted violations: orphan-charge (2 findings).
+
+The rule overlays this module onto the real core tree's charge map, so
+``em_two_way_mergesort`` below rides the real ``em2way`` contract's entry
+seed — everything it (transitively) calls is reachable; ``_orphan_helper``
+is called from nowhere, so its block-granularity charges are orphans.
+"""
+
+
+def em_two_way_mergesort(machine, arr):
+    # entry-symbol name: reached by the em2way contract seed
+    return _reached_helper(machine, arr)
+
+
+def _reached_helper(machine, arr):
+    # OK: block charge transitively reachable from a contracted entry
+    machine.counter.charge_reads(arr.num_blocks)
+    return arr
+
+
+def _orphan_helper(machine):
+    # VIOLATION: block-granularity charges reachable from no entry point
+    machine.counter.charge_block_read()
+    # VIOLATION: the batch API orphaned just the same
+    machine.counter.charge_writes(3)
+
+
+def _elementwise_bookkeeping(counter):
+    # OK: element-granularity charge — the RAM-model surface is exempt
+    counter.charge_read()

@@ -44,6 +44,9 @@ class TestFramework:
             "loop-charge",
             "lock-discipline",
             "kernel-parity",
+            "missing-cost-contract",
+            "orphan-charge",
+            "bench-emit",
         }
 
     def test_virtual_path_pragma(self):
@@ -115,6 +118,32 @@ class TestCorpus:
         assert "string literal" in messages
         assert "module:symbol" in messages
 
+    def test_missing_cost_contract_fires(self):
+        findings = lint_corpus_file("missing_contract.py")
+        assert rules_of(findings) == ["missing-cost-contract"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "contractless" in messages
+        assert "string literal" in messages
+        assert "phantomsort" in messages
+        # the mismatch finding names both the given and the declared label
+        assert "Theorem 4.5" in messages and "Theorem 4.3" in messages
+
+    def test_orphan_charge_fires_and_exempts_element_charges(self):
+        findings = lint_corpus_file("orphan_charge.py")
+        assert rules_of(findings) == ["orphan-charge"] * 2
+        messages = " | ".join(f.message for f in findings)
+        assert "_orphan_helper" in messages
+        assert "charge_block_read" in messages
+        assert "charge_writes" in messages
+        # the element-granularity charge and the reached helper stay silent
+        assert "_elementwise_bookkeeping" not in messages
+        assert "_reached_helper" not in messages
+
+    def test_bench_emit_fires(self):
+        findings = lint_corpus_file("bench_emit.py")
+        assert rules_of(findings) == ["bench-emit"]
+        assert "bench_silent_scenario" in findings[0].message
+
     def test_clean_file_is_clean(self):
         assert lint_corpus_file("clean.py") == []
 
@@ -158,18 +187,191 @@ class TestBaseline:
         assert filter_baseline([g], [f.to_dict()]) == []
 
 
-class TestCLI:
-    def test_corpus_exits_one(self, capsys):
-        rc = main([CORPUS, "--root", REPO])
+BENCH_VIOLATION = (
+    "# reprolint: path=benchmarks/bench_planted.py\n"
+    "def bench_planted_scenario():\n"
+    "    return 1\n"
+)
+
+
+class TestSuppressionEdgeCases:
+    def test_multiple_rules_one_comment(self):
+        m = ModuleSource(
+            "f.py",
+            "a = 1  # reprolint: disable=uncharged-io,loop-charge\n",
+        )
+        assert m.suppressed("uncharged-io", 1)
+        assert m.suppressed("loop-charge", 1)
+        assert not m.suppressed("lock-discipline", 1)
+
+    def test_multiple_rules_tolerate_spaces(self):
+        m = ModuleSource(
+            "f.py",
+            "a = 1  # reprolint: disable=bench-emit, orphan-charge\n",
+        )
+        assert m.suppressed("bench-emit", 1)
+        assert m.suppressed("orphan-charge", 1)
+
+    def test_pragma_on_decorated_def(self, tmp_path):
+        # the finding anchors to the `def` line, not the decorator line,
+        # so that's where the suppression comment must hold
+        path = tmp_path / "bench_decorated.py"
+        path.write_text(
+            "# reprolint: path=benchmarks/bench_decorated.py\n"
+            "import functools\n"
+            "\n"
+            "\n"
+            "def _passthrough(fn):\n"
+            "    return fn\n"
+            "\n"
+            "\n"
+            "@_passthrough\n"
+            "def bench_decorated_scenario():  # reprolint: disable=bench-emit\n"
+            "    return 1\n"
+            "\n"
+            "\n"
+            "@_passthrough\n"
+            "def bench_unsuppressed_scenario():\n"
+            "    return 1\n"
+        )
+        findings = lint_paths([str(path)], root=str(tmp_path),
+                              rules=["bench-emit"])
+        assert rules_of(findings) == ["bench-emit"]
+        assert "bench_unsuppressed_scenario" in findings[0].message
+
+    def test_baseline_stable_under_file_rename(self, tmp_path):
+        # fingerprints key off the virtual path, so physically renaming a
+        # pragma'd file must not resurrect grandfathered findings
+        old = tmp_path / "bench_old_name.py"
+        old.write_text(BENCH_VIOLATION)
+        before = lint_paths([str(old)], root=str(tmp_path))
+        assert before
+        baseline = tmp_path / "baseline.json"
+        save_baseline(str(baseline), before)
+
+        new = tmp_path / "bench_new_name.py"
+        os.rename(old, new)
+        after = lint_paths([str(new)], root=str(tmp_path))
+        assert [f.fingerprint for f in after] == [f.fingerprint for f in before]
+        assert filter_baseline(after, load_baseline(str(baseline))) == []
+
+
+class TestCacheAndJobs:
+    def make_tree(self, tmp_path):
+        bench = tmp_path / "bench_a.py"
+        bench.write_text(BENCH_VIOLATION)
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        # a core file so the dependency fingerprint has something to watch
+        core = tmp_path / "src" / "repro" / "core"
+        core.mkdir(parents=True)
+        dep = core / "kernel_stub.py"
+        dep.write_text("y = 2\n")
+        return bench, clean, dep
+
+    def run(self, tmp_path, cache, **kwargs):
+        stats = {}
+        findings = lint_paths([str(tmp_path / "bench_a.py"),
+                               str(tmp_path / "clean.py")],
+                              root=str(tmp_path),
+                              cache_path=str(cache) if cache else None,
+                              stats=stats, **kwargs)
+        return findings, stats
+
+    def test_warm_run_hits_cache_and_matches(self, tmp_path):
+        self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold, s_cold = self.run(tmp_path, cache)
+        warm, s_warm = self.run(tmp_path, cache)
+        assert s_cold == {"files": 2, "cached": 0, "linted": 2, "jobs": 1}
+        assert s_warm == {"files": 2, "cached": 2, "linted": 0, "jobs": 1}
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_mtime_change_invalidates_one_file(self, tmp_path):
+        bench, _, _ = self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        self.run(tmp_path, cache)
+        st = os.stat(bench)
+        os.utime(bench, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        _, stats = self.run(tmp_path, cache)
+        assert stats["cached"] == 1 and stats["linted"] == 1
+
+    def test_content_change_relints_with_new_findings(self, tmp_path):
+        bench, _, _ = self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        before, _ = self.run(tmp_path, cache)
+        assert rules_of(before) == ["bench-emit"]
+        bench.write_text(
+            "# reprolint: path=benchmarks/bench_planted.py\n"
+            "def bench_planted_scenario(benchmark):\n"
+            "    return benchmark\n"
+        )
+        after, _ = self.run(tmp_path, cache)
+        assert after == []
+
+    def test_dependency_change_invalidates_everything(self, tmp_path):
+        _, _, dep = self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        self.run(tmp_path, cache)
+        dep.write_text("y = 3  # cross-file input changed\n")
+        _, stats = self.run(tmp_path, cache)
+        assert stats["cached"] == 0 and stats["linted"] == 2
+
+    def test_rule_selection_invalidates_cache(self, tmp_path):
+        self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        self.run(tmp_path, cache)
+        _, stats = self.run(tmp_path, cache, rules=["bench-emit"])
+        assert stats["cached"] == 0
+
+    def test_no_cache_leaves_no_file(self, tmp_path):
+        self.make_tree(tmp_path)
+        findings, stats = self.run(tmp_path, cache=None)
+        assert rules_of(findings) == ["bench-emit"]
+        assert not (tmp_path / "cache.json").exists()
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        findings, stats = self.run(tmp_path, cache)
+        assert rules_of(findings) == ["bench-emit"]
+        assert stats["linted"] == 2
+
+    def test_parallel_jobs_match_serial(self):
+        serial = lint_paths([CORPUS], root=REPO)
+        parallel = lint_paths([CORPUS], root=REPO, jobs=2)
+        assert [f.to_dict() for f in parallel] == [f.to_dict() for f in serial]
+
+    def test_cli_no_cache_and_jobs_flags(self, capsys):
+        rc = main([CORPUS, "--root", REPO, "--no-cache", "--jobs", "2"])
         out = capsys.readouterr().out
         assert rc == 1
-        assert "reprolint: 12 findings" in out
+        assert "reprolint: 19 findings" in out
+
+    def test_cli_cache_file_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "c.json")
+        assert main([CORPUS, "--root", REPO, "--cache-file", cache]) == 1
+        capsys.readouterr()
+        assert os.path.exists(cache)
+        rc = main([CORPUS, "--root", REPO, "--cache-file", cache])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "reprolint: 19 findings" in out
+
+
+class TestCLI:
+    def test_corpus_exits_one(self, capsys):
+        rc = main([CORPUS, "--root", REPO, "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "reprolint: 19 findings" in out
 
     def test_json_format(self, capsys):
-        rc = main([CORPUS, "--root", REPO, "--format", "json"])
+        rc = main([CORPUS, "--root", REPO, "--format", "json", "--no-cache"])
         assert rc == 1
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 12
+        assert len(payload) == 19
         assert {"rule", "path", "line", "col", "message"} <= set(payload[0])
 
     def test_single_rule_selection(self, capsys):
