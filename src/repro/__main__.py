@@ -486,6 +486,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--no-cache"]
     if args.cache_file:
         argv += ["--cache-file", args.cache_file]
+    if args.explain:
+        argv += ["--explain", args.explain]
+    if args.dump_graphs:
+        argv += ["--dump-graphs", args.dump_graphs]
     return reprolint.main(argv)
 
 
@@ -661,6 +665,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the mtime-keyed findings cache")
     p_lint.add_argument("--cache-file", default=None, metavar="FILE",
                         help="cache location (default: <root>/.reprolint_cache.json)")
+    p_lint.add_argument("--explain", default=None, metavar="RULE",
+                        help="print the named rule's contract and exit")
+    p_lint.add_argument("--dump-graphs", default=None, metavar="DIR",
+                        help="serialize the call graph and static lock-order "
+                             "graph under DIR and exit")
     p_lint.set_defaults(fn=_cmd_lint)
     return parser
 

@@ -15,7 +15,15 @@ planted-violation corpus under ``tests/lint_corpus/`` opts in).
 from __future__ import annotations
 
 import ast
+import os
 
+from .flow import (
+    analyze_charges,
+    analyze_lockset,
+    analyze_pairing,
+    build_project_index,
+    flow_enabled,
+)
 from .reprolint import Finding, LintContext, ModuleSource, rule
 
 #: modules allowed to touch physical storage directly: the model itself,
@@ -227,14 +235,19 @@ def _held_locks(module: ModuleSource, node: ast.AST, lock_attrs: set[str]) -> se
 @rule(
     "lock-discipline",
     "in lock-owning classes (service layer, PlanCache): instance state must "
-    "be written under the lock, and blocking calls must not run while "
-    "holding it",
+    "be written under the lock; when the flow engine is disabled "
+    "(REPRO_LINT_NOFLOW) this rule also carries the syntactic "
+    "blocking-under-lock check that flow-lockset otherwise subsumes",
 )
 def check_lock_discipline(module: ModuleSource, ctx: LintContext):
     if not _in_scope(
         module, prefixes=_LOCK_SCOPE_PREFIXES, files=_LOCK_SCOPE_FILES
     ):
         return
+    # the interprocedural flow-lockset rule subsumes the blocking-call half
+    # of this rule (and sees through helper indirection); the syntactic
+    # check stays available as a fallback when flow analysis is disabled
+    check_blocking = not flow_enabled()
     for cls in ast.walk(module.tree):
         if not isinstance(cls, ast.ClassDef):
             continue
@@ -279,7 +292,10 @@ def check_lock_discipline(module: ModuleSource, ctx: LintContext):
                         ),
                     )
             # ---- blocking calls while holding the lock -------------------
+            # (fallback mode only — flow-lockset owns this check normally)
             elif isinstance(node, ast.Call):
+                if not check_blocking:
+                    continue
                 name = _call_name(node)
                 if name not in _BLOCKING_CALLS:
                     continue
@@ -625,4 +641,191 @@ def check_bench_emit(module: ModuleSource, ctx: LintContext):
                 "fixture nor calls emit_bench_json — its results silently "
                 "drop out of the BENCH_* trajectory"
             ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# CFG-backed flow rules (interprocedural engine in repro.analysis.flow)
+# --------------------------------------------------------------------------- #
+#: all pairing checks apply inside the package; tickets only matter in the
+#: service layer, sealed blocks only in core
+_RESOURCE_SCOPE = ("src/repro/",)
+_TICKET_SCOPE = ("src/repro/service/",)
+_SEALED_SCOPE = ("src/repro/core/",)
+
+
+def _flow_sources(ctx: LintContext) -> dict[str, str]:
+    """``relpath → text`` for every module under src/repro, cached per run."""
+    cached = getattr(ctx, "_flow_sources_cache", None)
+    if cached is not None:
+        return cached
+    sources: dict[str, str] = {}
+    pkg_root = os.path.join(ctx.root, "src", "repro")
+    for dirpath, dirnames, filenames in os.walk(pkg_root):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+        )
+        for fn in sorted(filenames):
+            if not fn.endswith(".py"):
+                continue
+            rel = os.path.relpath(
+                os.path.join(dirpath, fn), ctx.root
+            ).replace(os.sep, "/")
+            text = ctx.read_file(rel)
+            if text is not None:
+                sources[rel] = text
+    ctx._flow_sources_cache = sources
+    return sources
+
+
+def _flow_suppressions(ctx: LintContext) -> dict[str, dict[int, set[str]]]:
+    """Per-line suppression tables for every project module (the analyses
+    honor them inside summaries, not just at report time)."""
+    cached = getattr(ctx, "_flow_suppressions_cache", None)
+    if cached is not None:
+        return cached
+    from .reprolint import _collect_suppressions
+
+    tables = {
+        rel: _collect_suppressions(text.splitlines())
+        for rel, text in _flow_sources(ctx).items()
+    }
+    ctx._flow_suppressions_cache = tables
+    return tables
+
+
+def _flow_base_index(ctx: LintContext):
+    cached = getattr(ctx, "_flow_index_cache", None)
+    if cached is None:
+        cached = build_project_index(_flow_sources(ctx))
+        ctx._flow_index_cache = cached
+    return cached
+
+
+def _module_is_overlay(module: ModuleSource, ctx: LintContext) -> bool:
+    """True when the module under lint is NOT byte-identical to the indexed
+    project file at its virtual path (corpus fixture or edited tree)."""
+    sources = _flow_sources(ctx)
+    vp = module.virtual_path
+    return vp not in sources or sources[vp] != module.text
+
+
+def _flow_lockset_result(module: ModuleSource, ctx: LintContext):
+    """Whole-project lockset result, cached for the common (non-overlay)
+    case; overlays re-run the analysis with the module's tree spliced in."""
+    if not _module_is_overlay(module, ctx):
+        cached = getattr(ctx, "_flow_lockset_cache", None)
+        if cached is None:
+            cached = analyze_lockset(
+                _flow_base_index(ctx), _flow_suppressions(ctx)
+            )
+            ctx._flow_lockset_cache = cached
+        return cached
+    vp = module.virtual_path
+    index = build_project_index(_flow_sources(ctx), extra={vp: module.tree})
+    suppressions = dict(_flow_suppressions(ctx))
+    suppressions[vp] = module.suppressions
+    return analyze_lockset(index, suppressions, paths={vp})
+
+
+def _flow_charge_findings(module: ModuleSource, ctx: LintContext):
+    if not _module_is_overlay(module, ctx):
+        cached = getattr(ctx, "_flow_charges_cache", None)
+        if cached is None:
+            cached = analyze_charges(
+                _flow_base_index(ctx), _flow_suppressions(ctx)
+            )
+            ctx._flow_charges_cache = cached
+        return cached
+    vp = module.virtual_path
+    index = build_project_index(_flow_sources(ctx), extra={vp: module.tree})
+    suppressions = dict(_flow_suppressions(ctx))
+    suppressions[vp] = module.suppressions
+    return analyze_charges(index, suppressions, paths={vp})
+
+
+@rule(
+    "flow-lockset",
+    "interprocedural lockset analysis over the project CFGs: no blocking "
+    "call may be reachable (even through helpers) while a "
+    "service-layer/PlanCache lock is statically held, and the inferred "
+    "lock-order graph must be acyclic",
+)
+def check_flow_lockset(module: ModuleSource, ctx: LintContext):
+    """Forward may-hold-lock dataflow per function plus call-graph
+    summaries; also exports the static lock-order graph the test suite
+    cross-validates against locksan's dynamic observations."""
+    if not flow_enabled():
+        return
+    if not _in_scope(
+        module, prefixes=_LOCK_SCOPE_PREFIXES, files=_LOCK_SCOPE_FILES
+    ):
+        return
+    result = _flow_lockset_result(module, ctx)
+    for f in result.findings:
+        if f.path != module.virtual_path:
+            continue
+        yield Finding(
+            rule="flow-lockset",
+            path=f.path,
+            line=f.line,
+            col=f.col,
+            message=f.message,
+        )
+
+
+@rule(
+    "flow-resource",
+    "must-release pairing over all CFG paths: MemoryGuard acquire/release "
+    "(exception edges included), BlockWriter close-or-escape on normal "
+    "paths, no discarded server result tickets, no sealed zero-copy blocks "
+    "escaping their scope",
+)
+def check_flow_resource(module: ModuleSource, ctx: LintContext):
+    """Forward may-open resource analysis per function — gen at the
+    acquiring node, kill at release/escape, leak = open resource reaching
+    an exit the discipline covers."""
+    if not flow_enabled():
+        return
+    vp = module.virtual_path
+    if not vp.startswith(_RESOURCE_SCOPE):
+        return
+    for kind, f in analyze_pairing(
+        module.tree,
+        check_tickets=vp.startswith(_TICKET_SCOPE),
+        check_sealed=vp.startswith(_SEALED_SCOPE),
+    ):
+        yield Finding(
+            rule="flow-resource",
+            path=vp,
+            line=f.line,
+            col=f.col,
+            message=f.message,
+        )
+
+
+@rule(
+    "flow-charge",
+    "charge placement by dominance: manual block loops in core must be "
+    "dominated by an aggregate charge_*(n) at the same loop-nest depth, "
+    "and no call chain may reach a bare per-record charge_*() from inside "
+    "a loop (the helper-indirection gap of loop-charge)",
+)
+def check_flow_charge(module: ModuleSource, ctx: LintContext):
+    """Dominator-based deepening of loop-charge, interprocedural via
+    per-record summaries over the call graph; SLOW_REFERENCE regions are
+    exempt by dominance, not just syntactic containment."""
+    if not flow_enabled():
+        return
+    if not _in_scope(module, prefixes=_LOOP_CHARGE_SCOPE):
+        return
+    for f in _flow_charge_findings(module, ctx):
+        if f.path != module.virtual_path:
+            continue
+        yield Finding(
+            rule="flow-charge",
+            path=f.path,
+            line=f.line,
+            col=f.col,
+            message=f.message,
         )

@@ -83,6 +83,46 @@ def violations() -> list[str]:
         return list(_violations)
 
 
+def order_graph() -> dict[tuple[str, str], str]:
+    """Snapshot of the dynamic lock-order graph: ``(held, acquired) →
+    description``.  The static lockset analysis must cover every edge here
+    (static ⊇ dynamic) — the cross-check test enforces exactly that."""
+    with _state_lock:
+        return dict(_edges)
+
+
+def dump_order_graph(path: str) -> None:
+    """Serialize the observed order graph + violations as JSON."""
+    import json
+
+    with _state_lock:
+        payload = {
+            "edges": [
+                {"held": held, "acquired": acquired, "via": via}
+                for (held, acquired), via in sorted(_edges.items())
+            ],
+            "violations": list(_violations),
+        }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _install_dump_hook() -> None:
+    """When ``REPRO_LOCKSAN_DUMP`` names a file, write the order graph
+    there at interpreter exit — how a stress-suite subprocess hands its
+    observations to the static/dynamic cross-check."""
+    import atexit
+    import os
+
+    target = os.environ.get("REPRO_LOCKSAN_DUMP")
+    if target:
+        atexit.register(dump_order_graph, target)
+
+
+_install_dump_hook()
+
+
 def _stack() -> list[tuple[str, int]]:
     stack = getattr(_held, "stack", None)
     if stack is None:

@@ -333,13 +333,21 @@ def _cache_dependencies(root: str) -> list[str]:
         os.path.join(root, "src", "repro", "models", "external_memory.py"),
         os.path.join(root, "tests", "test_kernel_parity.py"),
     ]
-    core_dir = os.path.join(root, "src", "repro", "core")
-    if os.path.isdir(core_dir):
-        deps.extend(
-            os.path.join(core_dir, fn)
-            for fn in sorted(os.listdir(core_dir))
-            if fn.endswith(".py")
-        )
+    # the flow rules read the whole project (call graph + lock model), so
+    # every module a summary can flow through is a cache input
+    for sub in (
+        ("src", "repro", "core"),
+        ("src", "repro", "service"),
+        ("src", "repro", "planner"),
+        ("src", "repro", "analysis", "flow"),
+    ):
+        subdir = os.path.join(root, *sub)
+        if os.path.isdir(subdir):
+            deps.extend(
+                os.path.join(subdir, fn)
+                for fn in sorted(os.listdir(subdir))
+                if fn.endswith(".py")
+            )
     return deps
 
 
@@ -352,12 +360,38 @@ def _stat_signature(path: str) -> tuple[int, int] | None:
     return (st.st_mtime_ns, st.st_size)
 
 
+def _analysis_content_hash(root: str) -> str:
+    """Content hash of every module in the analysis package.  The rules'
+    *behavior* lives here; mtimes churn under checkouts and touch(1), so
+    the fingerprint reads the bytes."""
+    h = hashlib.sha256()
+    pkg = os.path.join(root, "src", "repro", "analysis")
+    for dirpath, dirnames, filenames in os.walk(pkg):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+        )
+        for fn in sorted(filenames):
+            if not fn.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, fn)
+            h.update(b"\0file:" + os.path.relpath(full, pkg).encode())
+            try:
+                with open(full, "rb") as fh:
+                    h.update(fh.read())
+            except OSError:
+                h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
 def _env_fingerprint(root: str, rule_names: Iterable[str]) -> str:
     """Hash of everything that can change findings besides the linted file
-    itself: cache format, active rule set, and cross-file dependency
-    signatures."""
+    itself: cache format, interpreter version (AST shapes and analysis
+    results can differ across Pythons), active rule set, the analysis
+    package's own content, and cross-file dependency signatures."""
     h = hashlib.sha256()
     h.update(f"v{CACHE_VERSION}".encode())
+    h.update(b"\0python:" + sys.version.encode())
+    h.update(b"\0analysis:" + _analysis_content_hash(root).encode())
     for name in sorted(rule_names):
         h.update(b"\0rule:" + name.encode())
     for dep in _cache_dependencies(root):
@@ -469,6 +503,60 @@ def render_json(findings: list[Finding], out) -> None:
     out.write("\n")
 
 
+def _explain_rule(name: str, out) -> int:
+    """Print one rule's contract: its registry doc plus the check
+    function's own docstring (the longer statement of what it proves)."""
+    from . import lint_rules  # noqa: F401  (populate RULES)
+
+    r = RULES.get(name)
+    if r is None:
+        print(
+            f"reprolint: error: unknown rule {name!r} "
+            f"(known: {', '.join(sorted(RULES))})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{r.name}:", file=out)
+    print(f"  {r.doc}", file=out)
+    doc = getattr(r.check, "__doc__", None)
+    if doc:
+        print("", file=out)
+        for line in doc.strip().splitlines():
+            print(f"  {line.strip()}", file=out)
+    return 0
+
+
+def _dump_graphs(root: str, outdir: str, out) -> int:
+    """Write callgraph.json and lock_order.json (the CI artifacts)."""
+    from .flow import analyze_lockset, build_project_index
+    from .lint_rules import _flow_sources, _flow_suppressions
+
+    ctx = LintContext(root)
+    index = build_project_index(_flow_sources(ctx))
+    result = analyze_lockset(index, _flow_suppressions(ctx))
+    try:
+        os.makedirs(outdir, exist_ok=True)
+        cg_path = os.path.join(outdir, "callgraph.json")
+        lo_path = os.path.join(outdir, "lock_order.json")
+        with open(cg_path, "w", encoding="utf-8") as fh:
+            json.dump(index.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        with open(lo_path, "w", encoding="utf-8") as fh:
+            json.dump(result.order_graph_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"reprolint: wrote {cg_path} ({len(index.functions)} functions, "
+        f"{sum(len(v) for v in index.edges.values())} edges) and {lo_path} "
+        f"({len(result.order_edges)} lock-order edges, "
+        f"{len(result.cycles)} cycles)",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
@@ -491,8 +579,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
                         help="disable the mtime-keyed findings cache")
     parser.add_argument("--cache-file", metavar="FILE",
                         help="cache location (default: <root>/.reprolint_cache.json)")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print the named rule's contract and exit")
+    parser.add_argument("--dump-graphs", metavar="DIR",
+                        help="serialize the project call graph and static "
+                             "lock-order graph under DIR and exit")
     args = parser.parse_args(argv)
     out = out if out is not None else sys.stdout
+
+    if args.explain:
+        return _explain_rule(args.explain, out)
+    if args.dump_graphs:
+        return _dump_graphs(args.root, args.dump_graphs, out)
 
     if args.no_cache:
         cache_path = None

@@ -176,7 +176,6 @@ def _merge(
 
     # primary memory: queue (M) + load buffer (B) + store buffer (B)
     footprint = params.M + 2 * params.B
-    guard.acquire(footprint)
 
     queue = _MergeQueue(params.M)
     pointers = [0] * len(runs)  # I_1..I_l: current block index per run
@@ -219,28 +218,30 @@ def _merge(
             else:
                 queue.push((rec, i, is_last))
 
-    while written < n:
-        threshold = _INF
-        # ---- phase 1: one pass over every run's current block ----------
-        for i in range(len(runs)):
-            process_block(i)
-        if len(queue) == 0:
-            raise StrandingDetected(
-                "merge round admitted no records with "
-                f"{n - written} unwritten: the paper-literal filter stranded "
-                "them (see the module docstring erratum)"
-            )
-        # ---- phase 2: drain the queue, chasing block boundaries --------
-        while len(queue) > 0:
-            key, i, is_last = queue.pop_min()
-            out.append(key)
-            last_v = key
-            written += 1
-            if is_last:
-                pointers[i] += 1
+    guard.acquire(footprint)
+    try:
+        while written < n:
+            threshold = _INF
+            # ---- phase 1: one pass over every run's current block ------
+            for i in range(len(runs)):
                 process_block(i)
-
-    guard.release(footprint)
+            if len(queue) == 0:
+                raise StrandingDetected(
+                    "merge round admitted no records with "
+                    f"{n - written} unwritten: the paper-literal filter "
+                    "stranded them (see the module docstring erratum)"
+                )
+            # ---- phase 2: drain the queue, chasing block boundaries ----
+            while len(queue) > 0:
+                key, i, is_last = queue.pop_min()
+                out.append(key)
+                last_v = key
+                written += 1
+                if is_last:
+                    pointers[i] += 1
+                    process_block(i)
+    finally:
+        guard.release(footprint)
     return out.close()
 
 
@@ -295,7 +296,6 @@ def _merge_vectorized(
         return out.close()
 
     footprint = params.M + 2 * params.B
-    guard.acquire(footprint)
 
     M = params.M
     items: list[tuple] = []  # sorted entries (key, run_index, is_last_in_block)
@@ -377,77 +377,80 @@ def _merge_vectorized(
 
     n_runs = len(runs)
     phase1_margin = M + 1 + (M >> 1)
-    while written < n:
-        # ---- phase 1: one pass over every run's current block ----------
-        # The round starts with an empty queue, so its outcome is closed
-        # form: the queue ends as the M smallest admissible entries across
-        # all current blocks, and the round threshold T ends at the
-        # (M+1)-th (every eject/skip key has M smaller keys already seen,
-        # so T can never undercut it; the (M+1)-th itself is ejected,
-        # skipped, or T-filtered).  Gather candidate windows per run with
-        # one listcomp each, keep the M+1 smallest (pruned at 1.5M so the
-        # scratch stays bounded), then cut the queue and T together —
-        # no per-record queue traffic at all.
-        threshold = _INF
-        cutoff = None  # running (M+1)-th smallest key
-        for i in range(n_runs):
-            run = runs[i]
-            bi = pointers[i]
-            if bi >= run.num_blocks:
-                continue
-            block = machine.read_block(run, bi, copy=False)
-            blk_len = len(block)
-            start = bisect.bisect_right(block, last_v) if last_v is not None else 0
-            end = (
-                blk_len
-                if cutoff is None
-                else bisect.bisect_right(block, cutoff, start)
-            )
-            if end <= start:
-                continue
-            if start == 0 and end == blk_len:
-                seg = [(rec, i, False) for rec in block]
-                seg[-1] = (block[-1], i, True)
-            else:
-                last_pos = blk_len - 1
-                seg = [(block[pos], i, pos == last_pos) for pos in range(start, end)]
-            items.extend(seg)
-            if len(items) >= phase1_margin:
-                items.sort()
-                del items[M + 1 :]
-                cutoff = items[-1][0]
-        items.sort()
-        if len(items) > M:
-            threshold = items[M][0]
-            del items[M:]
-        if not items:
-            raise StrandingDetected(
-                "merge round admitted no records with "
-                f"{n - written} unwritten: the paper-literal filter stranded "
-                "them (see the module docstring erratum)"
-            )
-        # ---- phase 2: bulk-drain up to each block boundary -------------
-        while items:
-            idx = 0
-            n_items = len(items)
-            while idx < n_items and not items[idx][2]:
-                idx += 1
-            if idx == n_items:
-                # no boundary entry left: drain the whole queue
-                out.extend([e[0] for e in items])
-                written += n_items
-                last_v = items[-1][0]
-                items.clear()
-                break
-            batch = items[: idx + 1]
-            del items[: idx + 1]
-            out.extend([e[0] for e in batch])
-            written += len(batch)
-            last_v, i, _ = batch[-1]
-            pointers[i] += 1
-            process_block(i)
+    guard.acquire(footprint)
+    try:
+        while written < n:
+            # ---- phase 1: one pass over every run's current block ----------
+            # The round starts with an empty queue, so its outcome is closed
+            # form: the queue ends as the M smallest admissible entries across
+            # all current blocks, and the round threshold T ends at the
+            # (M+1)-th (every eject/skip key has M smaller keys already seen,
+            # so T can never undercut it; the (M+1)-th itself is ejected,
+            # skipped, or T-filtered).  Gather candidate windows per run with
+            # one listcomp each, keep the M+1 smallest (pruned at 1.5M so the
+            # scratch stays bounded), then cut the queue and T together —
+            # no per-record queue traffic at all.
+            threshold = _INF
+            cutoff = None  # running (M+1)-th smallest key
+            for i in range(n_runs):
+                run = runs[i]
+                bi = pointers[i]
+                if bi >= run.num_blocks:
+                    continue
+                block = machine.read_block(run, bi, copy=False)
+                blk_len = len(block)
+                start = bisect.bisect_right(block, last_v) if last_v is not None else 0
+                end = (
+                    blk_len
+                    if cutoff is None
+                    else bisect.bisect_right(block, cutoff, start)
+                )
+                if end <= start:
+                    continue
+                if start == 0 and end == blk_len:
+                    seg = [(rec, i, False) for rec in block]
+                    seg[-1] = (block[-1], i, True)
+                else:
+                    last_pos = blk_len - 1
+                    seg = [(block[pos], i, pos == last_pos) for pos in range(start, end)]
+                items.extend(seg)
+                if len(items) >= phase1_margin:
+                    items.sort()
+                    del items[M + 1 :]
+                    cutoff = items[-1][0]
+            items.sort()
+            if len(items) > M:
+                threshold = items[M][0]
+                del items[M:]
+            if not items:
+                raise StrandingDetected(
+                    "merge round admitted no records with "
+                    f"{n - written} unwritten: the paper-literal filter stranded "
+                    "them (see the module docstring erratum)"
+                )
+            # ---- phase 2: bulk-drain up to each block boundary -------------
+            while items:
+                idx = 0
+                n_items = len(items)
+                while idx < n_items and not items[idx][2]:
+                    idx += 1
+                if idx == n_items:
+                    # no boundary entry left: drain the whole queue
+                    out.extend([e[0] for e in items])
+                    written += n_items
+                    last_v = items[-1][0]
+                    items.clear()
+                    break
+                batch = items[: idx + 1]
+                del items[: idx + 1]
+                out.extend([e[0] for e in batch])
+                written += len(batch)
+                last_v, i, _ = batch[-1]
+                pointers[i] += 1
+                process_block(i)
 
-    guard.release(footprint)
+    finally:
+        guard.release(footprint)
     return out.close()
 
 

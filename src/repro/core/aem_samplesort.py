@@ -290,33 +290,34 @@ def _partition(
 
     footprint = params.M + params.B + params.blocks_in_memory
     guard.acquire(footprint)
+    try:
+        for first_bucket in range(0, n_buckets, per_round):
+            last_bucket = min(first_bucket + per_round, n_buckets)  # exclusive
+            # key range covered by this round's buckets:
+            lo = splitters[first_bucket - 1] if first_bucket > 0 else None
+            hi = splitters[last_bucket - 1] if last_bucket - 1 < len(splitters) else None
+            writers = [
+                machine.writer(name=f"bucket{first_bucket + j}")
+                for j in range(last_bucket - first_bucket)
+            ]
+            round_splitters = splitters[first_bucket : last_bucket - 1]
+            if kernel == SLOW_REFERENCE:
+                for rec in machine.scan(arr):
+                    if lo is not None and rec < lo:
+                        continue
+                    if hi is not None and rec >= hi:
+                        continue
+                    j = bisect.bisect_right(round_splitters, rec)
+                    writers[j].append(rec)
+            else:
+                _distribute_blocks(
+                    machine.scan_blocks(arr), writers, round_splitters, lo, hi
+                )
+            for j, w in enumerate(writers):
+                buckets[first_bucket + j] = w.close()
 
-    for first_bucket in range(0, n_buckets, per_round):
-        last_bucket = min(first_bucket + per_round, n_buckets)  # exclusive
-        # key range covered by this round's buckets:
-        lo = splitters[first_bucket - 1] if first_bucket > 0 else None
-        hi = splitters[last_bucket - 1] if last_bucket - 1 < len(splitters) else None
-        writers = [
-            machine.writer(name=f"bucket{first_bucket + j}")
-            for j in range(last_bucket - first_bucket)
-        ]
-        round_splitters = splitters[first_bucket : last_bucket - 1]
-        if kernel == SLOW_REFERENCE:
-            for rec in machine.scan(arr):
-                if lo is not None and rec < lo:
-                    continue
-                if hi is not None and rec >= hi:
-                    continue
-                j = bisect.bisect_right(round_splitters, rec)
-                writers[j].append(rec)
-        else:
-            _distribute_blocks(
-                machine.scan_blocks(arr), writers, round_splitters, lo, hi
-            )
-        for j, w in enumerate(writers):
-            buckets[first_bucket + j] = w.close()
-
-    guard.release(footprint)
+    finally:
+        guard.release(footprint)
     return [b for b in buckets if b.length > 0]
 
 

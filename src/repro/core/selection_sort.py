@@ -65,20 +65,21 @@ def selection_sort(
     M = params.M
     last_max = None  # largest key emitted so far (None = -infinity)
     emitted = 0
-    while emitted < n:
-        # One scan: the M smallest records > last_max, selected with the
-        # shared bounded kernel (exact M-smallest multiset, same as the
-        # reference's record-at-a-time max-heap; scratch <= 1.5 M)
-        batch = take_smallest(machine.scan_blocks(arr), M, lo=last_max)
-        if not batch:
-            raise AssertionError(
-                "selection phase found no records although output is incomplete"
-            )
-        out_writer.extend(batch)
-        emitted += len(batch)
-        last_max = batch[-1]
-
-    guard.release(params.M + 2 * params.B)
+    try:
+        while emitted < n:
+            # One scan: the M smallest records > last_max, selected with
+            # the shared bounded kernel (exact M-smallest multiset, same as
+            # the reference's record-at-a-time max-heap; scratch <= 1.5 M)
+            batch = take_smallest(machine.scan_blocks(arr), M, lo=last_max)
+            if not batch:
+                raise AssertionError(
+                    "selection phase found no records although output is incomplete"
+                )
+            out_writer.extend(batch)
+            emitted += len(batch)
+            last_max = batch[-1]
+    finally:
+        guard.release(params.M + 2 * params.B)
     return out_writer.close()
 
 
@@ -101,32 +102,33 @@ def _selection_sort_slow(
 
     last_max = None  # largest key emitted so far (None = -infinity)
     emitted = 0
-    while emitted < n:
-        # One scan: collect the M smallest records > last_max.
-        # In-memory work is free in the model; we use a bounded max-heap.
-        working: list = []  # max-heap via negated keys
-        for bi in range(arr.num_blocks):
-            if arr.block_len(bi) == 0:  # empty placeholder: nothing to transfer
-                continue
-            block = machine.read_block(arr, bi, copy=False)
-            for rec in block:
-                if last_max is not None and rec <= last_max:
+    try:
+        while emitted < n:
+            # One scan: collect the M smallest records > last_max.
+            # In-memory work is free in the model; we use a bounded max-heap.
+            working: list = []  # max-heap via negated keys
+            for bi in range(arr.num_blocks):
+                if arr.block_len(bi) == 0:  # empty placeholder: nothing to transfer
                     continue
-                if len(working) < params.M:
-                    heapq.heappush(working, _Neg(rec))
-                elif rec < working[0].value:
-                    heapq.heapreplace(working, _Neg(rec))
-        batch = sorted(item.value for item in working)
-        if not batch:
-            raise AssertionError(
-                "selection phase found no records although output is incomplete"
-            )
-        for rec in batch:
-            out_writer.append(rec)
-        emitted += len(batch)
-        last_max = batch[-1]
-
-    guard.release(params.M + 2 * params.B)
+                block = machine.read_block(arr, bi, copy=False)
+                for rec in block:
+                    if last_max is not None and rec <= last_max:
+                        continue
+                    if len(working) < params.M:
+                        heapq.heappush(working, _Neg(rec))
+                    elif rec < working[0].value:
+                        heapq.heapreplace(working, _Neg(rec))
+            batch = sorted(item.value for item in working)
+            if not batch:
+                raise AssertionError(
+                    "selection phase found no records although output is incomplete"
+                )
+            for rec in batch:
+                out_writer.append(rec)
+            emitted += len(batch)
+            last_max = batch[-1]
+    finally:
+        guard.release(params.M + 2 * params.B)
     return out_writer.close()
 
 

@@ -1,0 +1,93 @@
+# reprolint: path=src/repro/core/corpus_flow_resource.py
+"""Planted violations: flow-resource (5 findings).
+
+Covers every discipline the pairing analysis checks: MemoryGuard release
+on exception and normal paths, BlockWriter close on normal paths, and
+sealed zero-copy block escape.  The OK variants pin the analysis's
+exemptions (try/finally, close-or-return, copies and yields).
+"""
+
+
+def leak_on_exception(machine, arr, guard, footprint):
+    guard.acquire(footprint)  # VIOLATION: read_block below may raise and
+    total = 0                 # skip the release — no try/finally
+    for bi in range(arr.num_blocks):
+        total += len(machine.read_block(arr, bi))
+    guard.release(footprint)
+    return total
+
+
+def leak_on_return(machine, arr, guard, footprint):
+    guard.acquire(footprint)  # VIOLATION: the early return skips release
+    if arr.num_blocks == 0:
+        return 0
+    total = 0
+    for bi in range(arr.num_blocks):
+        total += len(machine.read_block(arr, bi))
+    guard.release(footprint)
+    return total
+
+
+def guarded_correctly(machine, arr, guard, footprint):
+    guard.acquire(footprint)  # OK: released on every path
+    try:
+        total = 0
+        for bi in range(arr.num_blocks):
+            total += len(machine.read_block(arr, bi))
+    finally:
+        guard.release(footprint)
+    return total
+
+
+def deliberate_leak(machine, guard, footprint):
+    # OK: suppressed — ownership transfers to the caller by protocol
+    guard.acquire(footprint)  # reprolint: disable=flow-resource
+    return guard
+
+
+def drops_writer(machine, arr):
+    out = machine.writer(name="dropped")  # VIOLATION: never closed, the
+    count = 0                             # buffered tail blocks vanish
+    for rec in machine.scan(arr):
+        out.append(rec)
+        count += 1
+    return count
+
+
+def closes_writer(machine, arr):
+    out = machine.writer(name="closed")  # OK: closed on the normal path
+    for rec in machine.scan(arr):
+        out.append(rec)
+    return out.close()
+
+
+def hands_off_writer(machine, consumer):
+    out = machine.writer(name="handed")  # OK: escape is ownership transfer
+    consumer.adopt(out)
+    return None
+
+
+def leaks_sealed_view(machine, arr, keep):
+    blk = machine.read_block(arr, 0, copy=False)
+    # VIOLATION: the zero-copy view outlives its block inside `keep`
+    keep.append(blk)
+    return len(keep)
+
+
+def returns_sealed_view(machine, arr):
+    for blk in machine.scan_blocks(arr):
+        if blk:
+            # VIOLATION: raw sealed block returned from a non-generator
+            return blk
+    return None
+
+
+def copies_sealed_view(machine, arr, keep):
+    blk = machine.read_block(arr, 0, copy=False)
+    keep.append(list(blk))  # OK: a private copy may outlive the block
+    return len(keep)
+
+
+def streams_sealed_views(machine, arr):
+    for blk in machine.scan_blocks(arr):
+        yield blk  # OK: generators hand each view to an in-scope consumer

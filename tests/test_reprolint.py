@@ -47,6 +47,9 @@ class TestFramework:
             "missing-cost-contract",
             "orphan-charge",
             "bench-emit",
+            "flow-lockset",
+            "flow-resource",
+            "flow-charge",
         }
 
     def test_virtual_path_pragma(self):
@@ -102,12 +105,24 @@ class TestCorpus:
                    for f in findings)
 
     def test_lock_discipline_fires(self):
+        # with the flow engine on, the blocking-under-lock half of the old
+        # rule is owned by flow-lockset; the unlocked-write half stays here
         findings = lint_corpus_file("lock_discipline.py")
-        assert rules_of(findings) == ["lock-discipline"] * 3
+        assert sorted(rules_of(findings)) == [
+            "flow-lockset", "lock-discipline", "lock-discipline",
+        ]
         messages = " | ".join(f.message for f in findings)
         assert "self.jobs" in messages
         assert "self.slots" in messages
         assert "result(...)" in messages
+
+    def test_lock_discipline_fallback_without_flow(self, monkeypatch):
+        # REPRO_LINT_NOFLOW restores the syntactic blocking check, so the
+        # same three violations surface under the old rule name
+        monkeypatch.setenv("REPRO_LINT_NOFLOW", "1")
+        findings = lint_corpus_file("lock_discipline.py")
+        assert rules_of(findings) == ["lock-discipline"] * 3
+        assert any("result(...)" in f.message for f in findings)
 
     def test_kernel_parity_fires(self):
         findings = lint_corpus_file("kernel_parity.py")
@@ -143,6 +158,56 @@ class TestCorpus:
         findings = lint_corpus_file("bench_emit.py")
         assert rules_of(findings) == ["bench-emit"]
         assert "bench_silent_scenario" in findings[0].message
+
+    def test_flow_lockset_fires(self):
+        findings = lint_corpus_file("flow_lockset.py")
+        assert sorted(rules_of(findings)) == [
+            "flow-lockset", "flow-lockset", "flow-lockset", "flow-resource",
+        ]
+        messages = " | ".join(f.message for f in findings)
+        # lock-order cycle spread across two methods
+        assert "lock-order cycle" in messages
+        assert "CycleProne._a" in messages and "CycleProne._b" in messages
+        # blocking reached through a helper — the old rule's blind spot
+        assert "helper indirection" in messages
+        assert "_drain_one" in messages
+        # direct blocking under the lock
+        assert "sleep(...)" in messages
+        # the suppressed deliberate_wait sleep must NOT fire
+        assert sum("sleep" in f.message for f in findings) == 1
+        # the discarded registry ticket rides along under flow-resource
+        assert "ticket" in messages
+
+    def test_flow_resource_fires(self):
+        findings = lint_corpus_file("flow_resource.py")
+        assert rules_of(findings) == ["flow-resource"] * 5
+        messages = [f.message for f in findings]
+        assert sum("exception path" in m and "normal" not in m for m in messages) == 1
+        assert sum("both normal and exception paths" in m for m in messages) == 1
+        assert sum("without `.close()`" in m for m in messages) == 1
+        assert sum("escapes by" in m for m in messages) == 2
+        # try/finally, close-on-exit, escape-as-transfer, copies, yields and
+        # the suppressed deliberate leak all stay silent
+        assert {f.line for f in findings} == {12, 21, 49, 73, 81}
+
+    def test_flow_charge_fires(self):
+        findings = lint_corpus_file("flow_charge.py")
+        assert rules_of(findings) == ["flow-charge"] * 3
+        messages = " | ".join(f.message for f in findings)
+        # C3: plain uncharged block loop + the branch-charge dominance case
+        assert sum("block loop over `.num_blocks`" in f.message
+                   for f in findings) == 2
+        # C2: the per-record helper reached through a call edge
+        assert "_bump" in messages and "loop depth 1" in messages
+        # dominated, slow-exempt and waived loops all stay silent
+        assert {f.line for f in findings} == {36, 56, 73}
+
+    def test_flow_rules_silent_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LINT_NOFLOW", "1")
+        for name in ("flow_lockset.py", "flow_resource.py", "flow_charge.py"):
+            findings = lint_corpus_file(name)
+            flow = [f for f in findings if f.rule.startswith("flow-")]
+            assert flow == [], name
 
     def test_clean_file_is_clean(self):
         assert lint_corpus_file("clean.py") == []
@@ -343,11 +408,47 @@ class TestCacheAndJobs:
         parallel = lint_paths([CORPUS], root=REPO, jobs=2)
         assert [f.to_dict() for f in parallel] == [f.to_dict() for f in serial]
 
+    def test_single_file_root_with_excess_jobs(self, tmp_path):
+        # one stale file, four shards: three workers get empty chunks
+        bench = tmp_path / "bench_a.py"
+        bench.write_text(BENCH_VIOLATION)
+        findings = lint_paths([str(bench)], root=str(tmp_path), jobs=4)
+        assert rules_of(findings) == ["bench-emit"]
+
+    def test_empty_root(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        findings = lint_paths([str(tmp_path / "empty")], root=str(tmp_path),
+                              jobs=4)
+        assert findings == []
+        rc = main([str(tmp_path / "empty"), "--root", str(tmp_path)])
+        assert rc == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_corrupt_cache_under_parallel_sharding(self, tmp_path):
+        self.make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text('{"version": 1, "entries": ')  # truncated write
+        findings, stats = self.run(tmp_path, cache, jobs=4)
+        assert rules_of(findings) == ["bench-emit"]
+        assert stats["linted"] == 2 and stats["jobs"] == 4
+        # the rewritten cache must be valid again for the next (serial) run
+        _, warm = self.run(tmp_path, cache)
+        assert warm["cached"] == 2
+
+    def test_flow_rules_jobs_parity(self):
+        # the flow rules rebuild their project index inside each worker;
+        # sharding must not change what they report
+        flow_rules = ["flow-lockset", "flow-resource", "flow-charge"]
+        serial = lint_paths([CORPUS], root=REPO, rules=flow_rules)
+        sharded = lint_paths([CORPUS], root=REPO, rules=flow_rules, jobs=4)
+        assert serial  # the corpus plants violations for every flow rule
+        assert [f.to_dict() for f in sharded] == [f.to_dict() for f in serial]
+
     def test_cli_no_cache_and_jobs_flags(self, capsys):
         rc = main([CORPUS, "--root", REPO, "--no-cache", "--jobs", "2"])
         out = capsys.readouterr().out
         assert rc == 1
-        assert "reprolint: 19 findings" in out
+        assert "reprolint: 31 findings" in out
 
     def test_cli_cache_file_round_trip(self, tmp_path, capsys):
         cache = str(tmp_path / "c.json")
@@ -357,7 +458,7 @@ class TestCacheAndJobs:
         rc = main([CORPUS, "--root", REPO, "--cache-file", cache])
         out = capsys.readouterr().out
         assert rc == 1
-        assert "reprolint: 19 findings" in out
+        assert "reprolint: 31 findings" in out
 
 
 class TestCLI:
@@ -365,13 +466,13 @@ class TestCLI:
         rc = main([CORPUS, "--root", REPO, "--no-cache"])
         out = capsys.readouterr().out
         assert rc == 1
-        assert "reprolint: 19 findings" in out
+        assert "reprolint: 31 findings" in out
 
     def test_json_format(self, capsys):
         rc = main([CORPUS, "--root", REPO, "--format", "json", "--no-cache"])
         assert rc == 1
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 19
+        assert len(payload) == 31
         assert {"rule", "path", "line", "col", "message"} <= set(payload[0])
 
     def test_single_rule_selection(self, capsys):
@@ -393,6 +494,38 @@ class TestCLI:
     def test_missing_baseline_is_usage_error(self):
         assert main([CORPUS, "--root", REPO,
                      "--baseline", "/nonexistent/b.json"]) == 2
+
+    def test_explain_rule(self, capsys):
+        assert main(["--explain", "flow-lockset"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("flow-lockset:")
+        # registry one-liner plus the check function's longer contract
+        assert "blocking" in out
+        assert "CFG" in out or "interprocedural" in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--explain", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_explain_via_repro_subcommand(self, capsys):
+        assert cli_main(["lint", "--explain", "lock-discipline"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("lock-discipline:")
+
+    def test_dump_graphs(self, tmp_path, capsys):
+        outdir = str(tmp_path / "graphs")
+        assert main(["--root", REPO, "--dump-graphs", outdir]) == 0
+        assert "wrote" in capsys.readouterr().out
+        cg = json.load(open(os.path.join(outdir, "callgraph.json")))
+        lo = json.load(open(os.path.join(outdir, "lock_order.json")))
+        # the project graph is substantial, and every function carries a
+        # resolvable source location
+        assert len(cg["functions"]) > 500
+        some = next(iter(cg["functions"].values()))
+        assert {"path", "line"} <= set(some)
+        assert set(lo) == {"locks", "edges", "cycles"}
+        # the repaired tree has no statically inferred lock-order cycles
+        assert lo["cycles"] == []
 
     def test_repro_lint_subcommand(self, capsys):
         rc = cli_main(["lint", os.path.join(REPO, "src"),
