@@ -38,6 +38,14 @@ Subcommands
     results out — see :mod:`repro.service.server`).  ``--port 0`` binds an
     ephemeral port and prints it.  Stop with Ctrl-C or the ``shutdown`` op.
 
+``cluster [--servers N] [--n N] [--jobs J] [--workers W] [--check]``
+    Spawn N local serve subprocesses, scatter-gather one large job across
+    them (central splitter sampling + per-host shard sorts + a billed
+    ``shardmerge``), route a stream of small jobs to the least-loaded
+    host, print per-host and aggregate cluster stats, then drain-shutdown
+    the fleet.  ``--check`` additionally asserts parity with a
+    single-engine ``sort_auto`` run.
+
 ``sort`` / ``batch`` / ``calibrate`` / ``stream`` / ``serve`` all route
 through one :class:`~repro.engine.SortEngine`, so a single plan cache and
 constants set serves every job of a command invocation.
@@ -254,7 +262,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     service = SortService(engine)
     try:
-        server = EngineServer(service, host=args.host, port=args.port)
+        server = EngineServer(
+            service,
+            host=args.host,
+            port=args.port,
+            ticket_ttl=args.ticket_ttl,
+            max_tickets=args.max_tickets,
+        )
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}")
         service.shutdown(drain=False)
@@ -280,6 +294,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats['cancelled']} cancelled, {stats['respawns']} worker respawns",
         flush=True,
     )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import LocalCluster
+
+    params = MachineParams(M=args.M, B=args.B, omega=args.omega)
+    t0 = time.time()
+    with LocalCluster(
+        args.servers, workers=args.workers, executor=args.executor, params=params
+    ) as fleet:
+        coord = fleet.connect(retries=args.retries)
+        try:
+            # one huge job, scatter-gathered across the fleet
+            data = random_permutation(args.n, seed=args.seed)
+            rep = coord.sort(data, check_sorted=args.check)
+            if args.check:
+                if not rep.is_sorted():
+                    print("ERROR: cluster output is not sorted")
+                    return 1
+                with SortEngine(params) as engine:
+                    ref = engine.sort(data)
+                if rep.output != ref.output:
+                    print("ERROR: cluster output differs from single-engine sort_auto")
+                    return 1
+            print(
+                format_table(
+                    [
+                        {
+                            "hosts": rep.extras["hosts"],
+                            "n": rep.n,
+                            "merge reads": rep.reads,
+                            "merge writes": rep.writes,
+                            "merge cost R+wW": rep.cost(),
+                            "remote reads": rep.extras["remote_reads"],
+                            "remote writes": rep.extras["remote_writes"],
+                            "retries": rep.extras["retries"],
+                        }
+                    ],
+                    title=f"scatter-gather of n={args.n} on {params} "
+                    f"[{args.servers} servers]",
+                )
+            )
+            # a stream of small jobs, routed to the least-loaded host
+            rng = random.Random(args.seed)
+            handles = []
+            for i in range(args.jobs):
+                n = rng.randint(max(1, args.small_n // 2), args.small_n)
+                handles.append(
+                    coord.submit(
+                        make_scenario("uniform", n, seed=args.seed + i),
+                        label=f"small{i}",
+                        check_sorted=args.check,
+                    )
+                )
+            results = coord.gather(handles)
+            stats = coord.stats()
+            agg = stats["aggregate"]
+            print()
+            print(
+                format_table(
+                    [
+                        {
+                            "routed jobs": agg["routed_jobs"],
+                            "scatter jobs": agg["scatter_jobs"],
+                            "live hosts": agg["live_hosts"],
+                            "records/s": round(agg["records_per_sec"], 1),
+                            "retries": agg["retries"],
+                            "rebalances": agg["rebalances"],
+                        }
+                    ],
+                    title=f"cluster aggregate after {len(results)} routed jobs",
+                )
+            )
+            print()
+            print(
+                format_table(
+                    [
+                        {
+                            "host": f"{h['host']}:{h['port']}",
+                            "alive": h["alive"],
+                            "completed": h.get("completed", "-"),
+                            "queued": h.get("queued", "-"),
+                            "tickets": h.get("tickets", "-"),
+                            "records/s": h.get("records_per_sec", "-"),
+                        }
+                        for h in stats["per_host"]
+                    ],
+                    title="per-host stats",
+                )
+            )
+            coord.shutdown()
+            fleet.wait()
+        finally:
+            coord.close()
+    print(f"\n[{args.servers} servers drained and stopped, {time.time() - t0:.1f}s]")
     return 0
 
 
@@ -618,7 +728,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--omega", type=int, default=8)
     p_serve.add_argument("--constants", default=None, metavar="FILE",
                          help="calibrated-constants JSON (from `calibrate --save`)")
+    p_serve.add_argument("--ticket-ttl", type=float, default=None, metavar="SECONDS",
+                         help="evict finished result tickets this long after "
+                              "completion (default: only on consumption)")
+    p_serve.add_argument("--max-tickets", type=int, default=None, metavar="N",
+                         help="cap the ticket registry, evicting the oldest "
+                              "finished tickets beyond N")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="spawn a local server fleet and run scatter-gather + routed jobs",
+    )
+    p_cluster.add_argument("--servers", type=int, default=3,
+                           help="local serve subprocesses to spawn")
+    p_cluster.add_argument("--n", type=int, default=100_000,
+                           help="records in the scatter-gathered job")
+    p_cluster.add_argument("--jobs", type=int, default=20,
+                           help="small jobs routed to least-loaded hosts")
+    p_cluster.add_argument("--small-n", type=int, default=2_000,
+                           help="max records per routed small job")
+    p_cluster.add_argument("--workers", type=int, default=None,
+                           help="worker pool width per server")
+    p_cluster.add_argument("--executor", default="thread",
+                           choices=["thread", "process"],
+                           help="per-server pool executor")
+    p_cluster.add_argument("--retries", type=int, default=2,
+                           help="resubmissions allowed per job on host death")
+    p_cluster.add_argument("--M", type=int, default=64)
+    p_cluster.add_argument("--B", type=int, default=8)
+    p_cluster.add_argument("--omega", type=int, default=8)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--check", action="store_true",
+                           help="verify outputs and parity with single-engine "
+                                "sort_auto")
+    p_cluster.set_defaults(fn=_cmd_cluster)
 
     p_cert = sub.add_parser(
         "certify",

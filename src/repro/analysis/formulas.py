@@ -97,6 +97,24 @@ def em2way_transfers(n: int, M: int, B: int) -> float:
     return math.ceil(n / B) * levels
 
 
+def shard_merge_reads(n: int, B: int, k: int) -> float:
+    """§4.1 merge step (exact upper bound): merging ``k`` sorted shards of
+    total length ``n`` loads every input block once.  With the coordinator's
+    balanced contiguous split — shard sizes ``ceil(n/k)`` or ``floor(n/k)``
+    — that is ``sum_i ceil(n_i/B)`` reads."""
+    if n == 0:
+        return 0.0
+    k = max(1, min(k, n))
+    q, r = divmod(n, k)
+    return float(r * math.ceil((q + 1) / B) + (k - r) * math.ceil(q / B))
+
+
+def shard_merge_writes(n: int, B: int) -> float:
+    """§4.1 merge step (exact upper bound): the merged output is written
+    once, ``ceil(n/B)`` block writes total."""
+    return float(math.ceil(n / B))
+
+
 def pq_sort_reads(n: int, M: int, B: int, k: int) -> float:
     """Theorem 4.10's sorting corollary: ``n`` INSERTs + ``n`` DELETE-MINs
     at the amortized per-operation read cost (unit constant)."""

@@ -1,0 +1,138 @@
+"""Spawn a local EngineServer fleet as subprocesses (CLI, tests, benches).
+
+Each server is a real ``python -m repro serve`` process bound to an
+ephemeral port; the port is read back from the server's startup banner, so
+there is no bind race.  :meth:`LocalCluster.kill` hard-kills one server
+(the fault-tolerance tests' host funeral); :meth:`LocalCluster.shutdown`
+tears the fleet down.  Use :meth:`connect` for a ready
+:class:`~repro.cluster.ClusterCoordinator` over the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+from ..models.params import MachineParams
+from .coordinator import ClusterCoordinator, ClusterSpec
+
+_BANNER = re.compile(r"serving sort jobs on ([\d.]+):(\d+)")
+
+
+def _src_pythonpath() -> str:
+    """PYTHONPATH entry exposing this repo's ``repro`` package to children."""
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.dirname(package_dir)
+
+
+class LocalCluster:
+    """``servers`` local EngineServer subprocesses on one machine.
+
+    All servers run the same ``params`` machine (so cluster-level counter
+    aggregates are meaningful) with ``workers`` pool threads/processes
+    each.  Context-manager friendly: ``with LocalCluster(3) as fleet:``.
+    """
+
+    def __init__(
+        self,
+        servers: int = 2,
+        *,
+        workers: int | None = None,
+        executor: str = "thread",
+        params: MachineParams | None = None,
+        python: str | None = None,
+    ):
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        self.params = params if params is not None else MachineParams(M=64, B=8, omega=8)
+        self.procs: list[subprocess.Popen] = []
+        self.addresses: list[tuple[str, int]] = []
+        env = dict(os.environ)
+        src = _src_pythonpath()
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        cmd = [
+            python or sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--executor",
+            executor,
+            "--M",
+            str(self.params.M),
+            "--B",
+            str(self.params.B),
+            "--omega",
+            str(self.params.omega),
+        ]
+        if workers is not None:
+            cmd += ["--workers", str(workers)]
+        try:
+            for _ in range(servers):
+                proc = subprocess.Popen(
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                    env=env,
+                )
+                self.procs.append(proc)
+                banner = proc.stdout.readline()
+                match = _BANNER.search(banner)
+                if match is None:
+                    proc.kill()
+                    raise RuntimeError(
+                        f"local sort server failed to start: {banner.strip()!r}"
+                    )
+                self.addresses.append((match.group(1), int(match.group(2))))
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------ #
+    def spec(self, **overrides) -> ClusterSpec:
+        return ClusterSpec(hosts=tuple(self.addresses), **overrides)
+
+    def connect(self, **overrides) -> ClusterCoordinator:
+        """A coordinator over the fleet (caller closes it)."""
+        return ClusterCoordinator(self.spec(**overrides), self.params)
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one server (SIGKILL) — the host-death fault injection."""
+        proc = self.procs[index]
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    def alive(self) -> list[int]:
+        return [i for i, proc in enumerate(self.procs) if proc.poll() is None]
+
+    def wait(self, timeout: float = 10.0) -> None:
+        """Wait for every server process to exit (after a drain-shutdown)."""
+        for proc in self.procs:
+            proc.wait(timeout=timeout)
+
+    def shutdown(self) -> None:
+        """Terminate any still-running servers and reap them (idempotent)."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                proc.kill()
+                proc.wait(timeout=10)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -31,6 +31,7 @@ from .kernels import (
 from .parallel_samplesort import parallel_samplesort
 from .ram_sort import RAM_SORTS, bst_sort, heapsort, mergesort, quicksort
 from .selection_sort import selection_sort
+from .shard_merge import shard_merge
 
 __all__ = [
     "AEMPriorityQueue",
@@ -52,4 +53,5 @@ __all__ = [
     "quicksort",
     "selection_sort",
     "set_default_kernel",
+    "shard_merge",
 ]

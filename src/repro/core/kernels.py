@@ -174,3 +174,40 @@ def take_smallest(blocks, take: int, lo=None) -> list:
     working.sort()
     del working[take:]
     return working
+
+
+def take_smallest_indexed(blocks, take: int, lo=None) -> list:
+    """Position-decorated :func:`take_smallest`: the ``take`` smallest
+    ``(record, scan position)`` pairs strictly greater than the pair ``lo``,
+    returned ascending.
+
+    The paper's §2 remark — *"a position index can always be added to make
+    keys unique"* — applied below the selection kernel: decorating each
+    record with its global scan offset makes every key unique, so the
+    running cutoff advances even through runs of duplicates.  Positions are
+    derived from the scan order alone (free metadata, no extra I/O), and
+    the decoration orders duplicates by position, i.e. the selection
+    becomes a *stable* sort.  Same pruning discipline and the same exact
+    ``take``-smallest guarantee as :func:`take_smallest`, now over pairs.
+    """
+    working: list = []
+    cutoff = None  # the take-th smallest pair seen so far, once known
+    margin = take + (take >> 1) + 1
+    base = 0
+    for block in blocks:
+        cand = [(r, base + i) for i, r in enumerate(block)]
+        base += len(block)
+        if lo is not None:
+            cand = [p for p in cand if p > lo]
+        if cutoff is not None:
+            cand = [p for p in cand if p < cutoff]
+        if not cand:
+            continue
+        working.extend(cand)
+        if len(working) >= margin:
+            working.sort()
+            del working[take:]
+            cutoff = working[-1]
+    working.sort()
+    del working[take:]
+    return working

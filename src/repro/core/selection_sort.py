@@ -12,6 +12,16 @@ written so far, then emits them in sorted order (``M/B`` block writes).  With
 Primary memory: the M-record working set + one load block (+ the store buffer,
 which the model's ``M + B`` budget absorbs because the working set shrinks as
 records are emitted; we keep the accounting conservative and charge both).
+
+Duplicate keys: the phase cutoff ("strictly larger than the largest record
+written so far") stalls on inputs whose duplicate runs exceed ``M``, so both
+paths apply the paper's §2 remark — *"a position index can always be added to
+make keys unique"* — below the engine: every record is compared as a
+``(record, scan position)`` pair.  Positions come from the scan order alone
+(free metadata, no extra I/O), the cutoff always advances by exactly
+``min(M, remaining)`` records per phase, and the emitted order is the
+*stable* sort of the input.  Counters are unchanged and meet the lemma's
+exact bounds on every input.
 """
 
 from __future__ import annotations
@@ -20,7 +30,12 @@ import heapq
 import math
 
 from ..models.external_memory import AEMachine, ExtArray, MemoryGuard
-from .kernels import SLOW_REFERENCE, register_kernel_entry, resolve_kernel, take_smallest
+from .kernels import (
+    SLOW_REFERENCE,
+    register_kernel_entry,
+    resolve_kernel,
+    take_smallest_indexed,
+)
 
 register_kernel_entry(
     "selection",
@@ -63,19 +78,21 @@ def selection_sort(
     guard.acquire(params.M + 2 * params.B)
 
     M = params.M
-    last_max = None  # largest key emitted so far (None = -infinity)
+    last_max = None  # largest (record, position) pair emitted so far
     emitted = 0
     try:
         while emitted < n:
-            # One scan: the M smallest records > last_max, selected with
-            # the shared bounded kernel (exact M-smallest multiset, same as
-            # the reference's record-at-a-time max-heap; scratch <= 1.5 M)
-            batch = take_smallest(machine.scan_blocks(arr), M, lo=last_max)
+            # One scan: the M smallest (record, position) pairs > last_max,
+            # selected with the shared bounded kernel (exact M-smallest
+            # multiset, same as the reference's record-at-a-time max-heap;
+            # scratch <= 1.5 M).  Position decoration keeps the cutoff
+            # advancing through duplicate runs.
+            batch = take_smallest_indexed(machine.scan_blocks(arr), M, lo=last_max)
             if not batch:
                 raise AssertionError(
                     "selection phase found no records although output is incomplete"
                 )
-            out_writer.extend(batch)
+            out_writer.extend([rec for rec, _ in batch])
             emitted += len(batch)
             last_max = batch[-1]
     finally:
@@ -100,30 +117,35 @@ def _selection_sort_slow(
     # M-record working set + load block + store buffer
     guard.acquire(params.M + 2 * params.B)
 
-    last_max = None  # largest key emitted so far (None = -infinity)
+    last_max = None  # largest (record, position) pair emitted so far
     emitted = 0
     try:
         while emitted < n:
-            # One scan: collect the M smallest records > last_max.
-            # In-memory work is free in the model; we use a bounded max-heap.
+            # One scan: collect the M smallest (record, position) pairs >
+            # last_max — the §2 position-index uniquification, so the
+            # cutoff advances through duplicate runs.  In-memory work is
+            # free in the model; we use a bounded max-heap.
             working: list = []  # max-heap via negated keys
+            pos = 0
             for bi in range(arr.num_blocks):
                 if arr.block_len(bi) == 0:  # empty placeholder: nothing to transfer
                     continue
                 block = machine.read_block(arr, bi, copy=False)
                 for rec in block:
-                    if last_max is not None and rec <= last_max:
+                    pair = (rec, pos)
+                    pos += 1
+                    if last_max is not None and pair <= last_max:
                         continue
                     if len(working) < params.M:
-                        heapq.heappush(working, _Neg(rec))
-                    elif rec < working[0].value:
-                        heapq.heapreplace(working, _Neg(rec))
+                        heapq.heappush(working, _Neg(pair))
+                    elif pair < working[0].value:
+                        heapq.heapreplace(working, _Neg(pair))
             batch = sorted(item.value for item in working)
             if not batch:
                 raise AssertionError(
                     "selection phase found no records although output is incomplete"
                 )
-            for rec in batch:
+            for rec, _ in batch:
                 out_writer.append(rec)
             emitted += len(batch)
             last_max = batch[-1]

@@ -251,6 +251,9 @@ class SortEngine:
         # persistent SortService pools, keyed by (executor, workers) — the
         # batch path reuses them across calls instead of rebuilding per run
         self._services: dict = {}
+        # persistent ClusterCoordinators, keyed by the host tuple — same
+        # reuse contract as _services, torn down by close()
+        self._clusters: dict = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -339,6 +342,48 @@ class SortEngine:
             svc.warm(warm_cache)
         return svc
 
+    def cluster(
+        self,
+        hosts,
+        *,
+        retries: int = 2,
+        connect_retries: int = 25,
+        timeout: float | None = None,
+        warm_cache=None,
+    ):
+        """The engine's persistent
+        :class:`~repro.cluster.ClusterCoordinator` over the given
+        EngineServer ``hosts`` (created on first use, then reused) —
+        symmetric with :meth:`service` for the distributed case.
+
+        ``hosts`` is an iterable of ``(host, port)`` pairs (or a
+        :class:`~repro.cluster.ClusterSpec`, whose knobs then win).
+        ``warm_cache`` replays a plan-cache snapshot's sizes on every host
+        when passed (first build *and* reuse — rewarming a live fleet is
+        cheap and idempotent).  Coordinators are closed by
+        :meth:`close` / the engine's context manager; the remote servers
+        belong to their owners and keep running.
+        """
+        from .cluster import ClusterCoordinator, ClusterSpec
+
+        if isinstance(hosts, ClusterSpec):
+            spec = hosts
+        else:
+            spec = ClusterSpec(
+                hosts=tuple((str(h), int(p)) for h, p in hosts),
+                retries=retries,
+                connect_retries=connect_retries,
+                timeout=timeout,
+            )
+        key = spec.hosts
+        coord = self._clusters.get(key)
+        if coord is None:
+            coord = ClusterCoordinator(spec, self.params)
+            self._clusters[key] = coord
+        if warm_cache is not None:
+            coord.warm(warm_cache)
+        return coord
+
     def batch(
         self,
         jobs: Sequence,
@@ -403,6 +448,9 @@ class SortEngine:
         services, self._services = list(self._services.values()), {}
         for svc in services:
             svc.shutdown(drain=False, wait=True)
+        clusters, self._clusters = list(self._clusters.values()), {}
+        for coord in clusters:
+            coord.close()
 
     def __enter__(self) -> "SortEngine":
         return self

@@ -39,10 +39,13 @@ from .calibration import (
 )
 from .cost_model import (
     PLANNABLE_ALGORITHMS,
+    ClusterShardPlan,
     PlanCandidate,
     SortPlan,
+    plan_cluster_shards,
     plan_sort,
     predict_candidate,
+    predict_shard_merge_io,
     rank_plans,
 )
 from .plan_cache import PlanCache
@@ -52,6 +55,7 @@ __all__ = [
     "BatchReport",
     "CALIBRATABLE_ALGORITHMS",
     "CalibrationSample",
+    "ClusterShardPlan",
     "CostConstants",
     "JobFailure",
     "PLANNABLE_ALGORITHMS",
@@ -68,8 +72,10 @@ __all__ = [
     "measure_samples",
     "merge_shard_reports",
     "partition_jobs",
+    "plan_cluster_shards",
     "plan_sort",
     "predict_candidate",
+    "predict_shard_merge_io",
     "rank_plans",
     "run_batch",
     "run_sharded",

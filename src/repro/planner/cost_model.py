@@ -45,6 +45,8 @@ from ..analysis.formulas import (
     mergesort_writes,
     samplesort_reads,
     samplesort_writes,
+    shard_merge_reads,
+    shard_merge_writes,
 )
 from ..analysis.ktuning import feasible_k_region
 from ..core.aem_heapsort import predicted_amortized_reads, predicted_amortized_writes
@@ -297,3 +299,93 @@ def predict_stream_io(n: int, params: MachineParams, k: int) -> tuple[float, flo
     r = max(_heapsort_reads(n, params.M, params.B, k), floor)
     w = max(_heapsort_writes(n, params.M, params.B, k), floor)
     return r, w
+
+
+def predict_shard_merge_io(n: int, params: MachineParams, k: int) -> tuple[float, float]:
+    """Predicted ``(reads, writes)`` for the coordinator's k-way merge of
+    ``k`` sorted shards totalling ``n`` records (balanced split).
+
+    One streaming pass: every shard block is read once and every output
+    block written once — ``sum_i ceil(n_i/B)`` reads, ``ceil(n/B)`` writes
+    (exactly what the ``shardmerge`` kernel charges and its EXACT cost
+    contract certifies).  Floored at one scan each way like every other
+    prediction here.
+    """
+    if n <= 0:
+        return 0.0, 0.0
+    floor = float(math.ceil(n / params.B))
+    r = max(shard_merge_reads(n, params.B, k), floor)
+    w = max(shard_merge_writes(n, params.B), floor)
+    return r, w
+
+
+@dataclass(frozen=True)
+class ClusterShardPlan:
+    """The scatter plan for one job fanned out over ``hosts`` cluster hosts.
+
+    ``shard_sizes`` is the balanced target split the splitter sampling aims
+    for (realized shard sizes depend on the data's quantiles); the merge
+    prediction is evaluated at this target, which is where the
+    ``shardmerge`` read form is minimised, so it is the honest planning
+    figure for a well-sampled scatter.
+    """
+
+    n: int
+    hosts: int
+    shard_sizes: tuple[int, ...]
+    #: records the coordinator samples to pick splitters
+    sample_size: int
+    #: number of splitters (``hosts - 1``)
+    splitter_count: int
+    predicted_merge_reads: float
+    predicted_merge_writes: float
+    #: ``reads + omega * writes`` for the coordinator-side merge
+    predicted_merge_cost: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "hosts": self.hosts,
+            "shard_sizes": list(self.shard_sizes),
+            "sample_size": self.sample_size,
+            "splitter_count": self.splitter_count,
+            "predicted_merge_reads": self.predicted_merge_reads,
+            "predicted_merge_writes": self.predicted_merge_writes,
+            "predicted_merge_cost": self.predicted_merge_cost,
+        }
+
+
+def plan_cluster_shards(
+    n: int,
+    hosts: int,
+    params: MachineParams,
+    *,
+    oversample: int = 32,
+) -> ClusterShardPlan:
+    """Plan the scatter of an ``n``-record job across ``hosts`` hosts.
+
+    Mirrors Theorem 4.5's sample-and-split structure one level up: draw an
+    ``oversample``-per-host sample, pick ``hosts - 1`` splitters at even
+    sample quantiles, scatter, and merge the sorted shards back with the
+    ``shardmerge`` kernel.  Returns the balanced target split and the
+    predicted merge I/O the cluster's :class:`~repro.api.SortReport` is
+    judged against.
+    """
+    if hosts < 1:
+        raise ValueError(f"hosts must be >= 1, got {hosts}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    q, r = divmod(n, hosts)
+    sizes = tuple(q + 1 if i < r else q for i in range(hosts))
+    sample_size = min(n, hosts * max(1, oversample))
+    reads, writes = predict_shard_merge_io(n, params, hosts)
+    return ClusterShardPlan(
+        n=n,
+        hosts=hosts,
+        shard_sizes=sizes,
+        sample_size=sample_size,
+        splitter_count=hosts - 1,
+        predicted_merge_reads=reads,
+        predicted_merge_writes=writes,
+        predicted_merge_cost=reads + params.omega * writes,
+    )

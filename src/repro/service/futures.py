@@ -66,6 +66,7 @@ class SortFuture:
         "_callbacks",
         "plan_stats",
         "wall_seconds",
+        "cpu_seconds",
     )
 
     def __init__(self, ticket: int, job=None, priority: float = 0):
@@ -84,6 +85,11 @@ class SortFuture:
         #: worker-measured wall-clock of this job's execution, stamped just
         #: before completion — ``None`` until then (and for cancelled jobs)
         self.wall_seconds: float | None = None
+        #: worker-measured CPU time of this job's execution (thread CPU for
+        #: thread workers, wall of the dedicated child for process workers).
+        #: Unlike ``wall_seconds`` this is not inflated when several workers
+        #: timeshare a core, so it is the honest per-job compute figure.
+        self.cpu_seconds: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = getattr(self.job, "label", "") or ""

@@ -392,9 +392,11 @@ class SortService:
 
     def _finish(self, future: SortFuture, worker: int, hits: int, misses: int,
                 result=None, error: BaseException | None = None,
-                wall: float = 0.0, records: int = 0) -> None:
+                wall: float = 0.0, records: int = 0,
+                cpu: float | None = None) -> None:
         future.plan_stats = (worker, hits, misses)
         future.wall_seconds = wall
+        future.cpu_seconds = wall if cpu is None else cpu
         if error is not None:
             future.set_exception(error)
         else:
@@ -420,6 +422,7 @@ class SortService:
             view = _CacheView(self.cache)
             records = len(entry.job.data) if entry.job.data is not None else 0
             t0 = time.perf_counter()
+            c0 = time.thread_time()  # this worker's CPU, contention-free
             try:
                 rep = execute_and_check(
                     entry.index, entry.job, cache=view,
@@ -427,10 +430,12 @@ class SortService:
                 )
             except Exception as exc:  # noqa: BLE001 — captured per job by design
                 self._finish(fut, index, view.hits, view.misses, error=exc,
-                             wall=time.perf_counter() - t0, records=records)
+                             wall=time.perf_counter() - t0, records=records,
+                             cpu=time.thread_time() - c0)
             else:
                 self._finish(fut, index, view.hits, view.misses, result=rep,
-                             wall=time.perf_counter() - t0, records=records)
+                             wall=time.perf_counter() - t0, records=records,
+                             cpu=time.thread_time() - c0)
 
     def _process_worker(self, index: int) -> None:
         """Feeder thread for one persistent worker process: one in-flight

@@ -96,15 +96,43 @@ class EngineServer:
     ``port=0`` binds an OS-assigned ephemeral port; read the real address
     from :attr:`address`.  ``start()`` serves in a background thread (for
     tests / embedding); :meth:`serve_forever` blocks (the CLI path).
+
+    Registry bounds: default eviction is consumption — a terminal ``result``
+    reply drops the ticket.  Clients that ask ``"keep": true`` (or never
+    collect) would still grow the registry without bound, so two optional
+    knobs cap it: ``ticket_ttl`` evicts *finished* tickets ``ttl`` seconds
+    after completion, and ``max_tickets`` evicts the oldest finished
+    tickets beyond the cap.  In-flight tickets are never evicted by either
+    knob.  ``clock`` is injectable for tests (monotonic seconds).
     """
 
-    def __init__(self, service: SortService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: SortService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        ticket_ttl: float | None = None,
+        max_tickets: int | None = None,
+        clock=time.monotonic,
+    ):
         self.service = service
         self._server = _TCPServer((host, port), _Handler)
         self._server.engine_server = self
         self._tickets: dict[int, SortFuture] = {}
         self._lock = wrap_lock(threading.Lock(), "EngineServer._lock")
         self._thread: threading.Thread | None = None
+        if ticket_ttl is not None and ticket_ttl < 0:
+            raise ValueError(f"ticket_ttl must be >= 0, got {ticket_ttl}")
+        if max_tickets is not None and max_tickets < 1:
+            raise ValueError(f"max_tickets must be >= 1, got {max_tickets}")
+        self._ticket_ttl = ticket_ttl
+        self._max_tickets = max_tickets
+        self._clock = clock
+        #: completion stamps for finished-but-unconsumed tickets (subset of
+        #: ``_tickets`` keys; maintained lazily by :meth:`_purge`)
+        self._done_at: dict[int, float] = {}
+        self._evictions = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -166,12 +194,51 @@ class EngineServer:
         )
         return job, spec.get("priority", 0), bool(spec.get("check_sorted", False))
 
+    def _purge(self) -> int:
+        """TTL / capacity sweep over the ticket registry; returns evictions.
+
+        Piggybacked on registry traffic (:meth:`_register`, :meth:`_lookup`,
+        ``stats``) rather than run on a timer thread.  Finished tickets are
+        stamped on first sight via the non-blocking ``SortFuture.done()``
+        (never ``result()`` — this runs under the registry lock), then
+        dropped once older than ``ticket_ttl``; if ``max_tickets`` is still
+        exceeded, the oldest-finished tickets go next.  In-flight tickets
+        always survive.
+        """
+        if self._ticket_ttl is None and self._max_tickets is None:
+            return 0
+        now = self._clock()
+        evicted = 0
+        with self._lock:
+            for ticket, future in self._tickets.items():
+                if ticket not in self._done_at and future.done():
+                    self._done_at[ticket] = now
+            if self._ticket_ttl is not None:
+                for ticket in [
+                    t for t, at in self._done_at.items()
+                    if now - at >= self._ticket_ttl
+                ]:
+                    del self._tickets[ticket]
+                    del self._done_at[ticket]
+                    evicted += 1
+            if self._max_tickets is not None and len(self._tickets) > self._max_tickets:
+                for _, ticket in sorted((at, t) for t, at in self._done_at.items()):
+                    if len(self._tickets) <= self._max_tickets:
+                        break
+                    del self._tickets[ticket]
+                    del self._done_at[ticket]
+                    evicted += 1
+            self._evictions += evicted
+        return evicted
+
     def _register(self, future: SortFuture) -> int:
+        self._purge()
         with self._lock:
             self._tickets[future.ticket] = future
         return future.ticket
 
     def _lookup(self, request: dict) -> SortFuture:
+        self._purge()
         ticket = request.get("ticket")
         with self._lock:
             future = self._tickets.get(ticket)
@@ -210,6 +277,7 @@ class EngineServer:
             return
         with self._lock:
             self._tickets.pop(ticket, None)
+            self._done_at.pop(ticket, None)
 
     def _op_result(self, request: dict) -> dict:
         future = self._lookup(request)
@@ -237,6 +305,8 @@ class EngineServer:
             "reads": rep.reads,
             "writes": rep.writes,
             "cost": rep.cost(),
+            "wall_seconds": future.wall_seconds or 0.0,
+            "cpu_seconds": future.cpu_seconds or 0.0,
         }
 
     def _op_status(self, request: dict) -> dict:
@@ -246,9 +316,18 @@ class EngineServer:
         return {"ok": True, "cancelled": self._lookup(request).cancel()}
 
     def _op_stats(self, request: dict) -> dict:
+        self._purge()
         with self._lock:
             tickets = len(self._tickets)
-        return {"ok": True, "stats": {**self.service.stats(), "tickets": tickets}}
+            evictions = self._evictions
+        return {
+            "ok": True,
+            "stats": {
+                **self.service.stats(),
+                "tickets": tickets,
+                "ticket_evictions": evictions,
+            },
+        }
 
     def _op_shutdown(self, request: dict) -> dict:
         # stop the listener from a helper thread: shutdown() blocks until

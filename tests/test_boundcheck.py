@@ -33,7 +33,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 ALL_KERNELS = {
     "mergesort", "samplesort", "heapsort", "selection",
-    "em2way", "buffer-tree", "parallel-samplesort",
+    "em2way", "buffer-tree", "parallel-samplesort", "shardmerge",
 }
 
 

@@ -199,23 +199,77 @@ class TestKernelModeSwitch:
         assert out.peek_list() == sorted(data)
 
 
-class TestFailureModeParity:
-    def test_duplicate_heavy_input_fails_identically(self):
-        # Lemma 4.2 (and the sorts built on it) assume distinct keys; on a
-        # duplicate-heavy input both kernels must fail the same way, not
-        # silently diverge
+class TestDuplicateKeyParity:
+    def test_duplicate_heavy_input_sorts_identically(self):
+        # §2: "a position index can always be added to make keys unique" —
+        # the selection paths uniquify below the engine, so a duplicate-heavy
+        # input sorts (stably) instead of stalling the phase cutoff, with the
+        # exact Lemma 4.2 counters in both kernels
+        from repro.core.selection_sort import predicted_reads, predicted_writes
+
         rng = random.Random(0)
         data = [rng.randrange(8) for _ in range(200)]
-        errors = {}
+        results = {}
         for kernel in (VECTORIZED, SLOW_REFERENCE):
             machine = AEMachine(PARAMS)
-            try:
-                selection_sort(machine, machine.from_list(data), kernel=kernel)
-                errors[kernel] = None
-            except AssertionError as exc:
-                errors[kernel] = str(exc)
-        assert errors[VECTORIZED] == errors[SLOW_REFERENCE]
-        assert errors[VECTORIZED] is not None
+            out = selection_sort(machine, machine.from_list(data), kernel=kernel)
+            results[kernel] = (out._blocks, machine.counter.as_dict())
+        assert results[VECTORIZED] == results[SLOW_REFERENCE]
+        blocks, counts = results[VECTORIZED]
+        assert [rec for blk in blocks for rec in blk] == sorted(data)
+        assert counts["block_reads"] == predicted_reads(len(data), PARAMS.M, PARAMS.B)
+        assert counts["block_writes"] == predicted_writes(len(data), PARAMS.B)
+
+    def test_all_equal_keys_sort(self):
+        # the worst case for the old distinct-keys assumption: one giant
+        # duplicate run, several phases long
+        data = [7] * (3 * PARAMS.M + 5)
+        for kernel in (VECTORIZED, SLOW_REFERENCE):
+            machine = AEMachine(PARAMS)
+            out = selection_sort(machine, machine.from_list(data), kernel=kernel)
+            assert out.peek_list() == data
+
+
+class TestShardMergeParity:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("k", (1, 3))
+    def test_output_blocks_and_counters_identical(self, n, k):
+        from repro.analysis.formulas import shard_merge_reads, shard_merge_writes
+        from repro.core.shard_merge import shard_merge
+
+        data = _data(n, seed=7)
+        results = {}
+        for kernel in (VECTORIZED, SLOW_REFERENCE):
+            machine = AEMachine(PARAMS)
+            shards = [
+                machine.from_list(sorted(data[i::k]), name=f"s{i}")
+                for i in range(k)
+            ]
+            out = shard_merge(machine, shards, kernel=kernel)
+            results[kernel] = (out._blocks, machine.counter.as_dict())
+        assert results[VECTORIZED] == results[SLOW_REFERENCE]
+        blocks, counts = results[VECTORIZED]
+        assert [rec for blk in blocks for rec in blk] == sorted(data)
+        assert counts["block_reads"] == shard_merge_reads(n, PARAMS.B, k)
+        assert counts["block_writes"] == shard_merge_writes(n, PARAMS.B)
+
+    def test_duplicate_heavy_shards(self):
+        from repro.core.shard_merge import shard_merge
+
+        rng = random.Random(31)
+        data = [rng.randrange(6) for _ in range(500)]
+        results = {}
+        for kernel in (VECTORIZED, SLOW_REFERENCE):
+            machine = AEMachine(PARAMS)
+            shards = [
+                machine.from_list(sorted(data[i::4]), name=f"s{i}")
+                for i in range(4)
+            ]
+            out = shard_merge(machine, shards, kernel=kernel)
+            results[kernel] = (out._blocks, machine.counter.as_dict())
+        assert results[VECTORIZED] == results[SLOW_REFERENCE]
+        merged = [rec for blk in results[VECTORIZED][0] for rec in blk]
+        assert merged == sorted(data)
 
 
 class TestPriorityQueueInsertBlock:

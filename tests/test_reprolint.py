@@ -554,7 +554,7 @@ class TestKernelRegistryCompleteness:
 
         expected = {
             "mergesort", "samplesort", "heapsort", "selection",
-            "em2way", "buffer-tree", "parallel-samplesort",
+            "em2way", "buffer-tree", "parallel-samplesort", "shardmerge",
         }
         assert set(KERNEL_ENTRIES) == expected
         for name, modes in KERNEL_ENTRIES.items():

@@ -162,6 +162,100 @@ class TestCancelAndStatus:
         assert client.status(ticket) == "FINISHED"
 
 
+class _FakeClock:
+    """Injectable monotonic clock for deterministic TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTicketEviction:
+    """Registry bounds: TTL + capacity eviction of finished tickets."""
+
+    @pytest.fixture
+    def served_with(self):
+        """Factory: a live server with eviction knobs + client + fake clock."""
+        created = []
+
+        def build(**knobs):
+            clock = _FakeClock()
+            engine = SortEngine(PARAMS)
+            service = SortService(engine, workers=2)
+            server = EngineServer(service, clock=clock, **knobs).start()
+            client = ServiceClient(*server.address, retries=20)
+            created.append((client, server, service, engine))
+            return client, clock
+
+        yield build
+        for client, server, service, engine in created:
+            client.close()
+            server.close()
+            service.shutdown(drain=False)
+            engine.close()
+
+    def test_ttl_evicts_finished_kept_ticket(self, served_with):
+        client, clock = served_with(ticket_ttl=5.0)
+        ticket = client.submit([3, 1, 2])
+        client.result(ticket, keep=True)  # finished and deliberately retained
+        stats = client.stats()  # first purge after completion stamps it
+        assert stats["tickets"] == 1 and stats["ticket_evictions"] == 0
+        clock.advance(4.0)
+        assert client.stats()["tickets"] == 1  # within TTL: still retained
+        clock.advance(2.0)  # now 6s past completion
+        stats = client.stats()
+        assert stats["tickets"] == 0 and stats["ticket_evictions"] == 1
+        with pytest.raises(ServiceError, match="unknown ticket"):
+            client.result(ticket)
+
+    def test_ttl_never_evicts_unfinished_tickets(self, served_with):
+        client, clock = served_with(ticket_ttl=0.0)
+        # ttl=0 is the harshest setting: finished tickets evict on the very
+        # next purge, but queued/running ones must survive indefinitely
+        tickets = [client.submit(random_permutation(600, seed=i)) for i in range(4)]
+        clock.advance(100.0)
+        client.stats()  # purge: anything unfinished must be untouched
+        for t, data in zip(tickets, [random_permutation(600, seed=i) for i in range(4)]):
+            try:
+                assert client.result(t)["output"] == sorted(data)
+            except ServiceError as err:
+                # legal only when the purge saw the job already finished
+                assert "unknown ticket" in str(err)
+
+    def test_max_tickets_evicts_oldest_finished(self, served_with):
+        client, _ = served_with(max_tickets=2)
+        # sequential submit+collect: every ticket is finished-and-kept
+        # before the next registers, so eviction order is by ticket age
+        tickets = []
+        for i in range(4):
+            t = client.submit([i, i - 1])
+            client.result(t, keep=True)
+            tickets.append(t)
+        stats = client.stats()  # purge: 4 finished tickets, cap 2
+        assert stats["tickets"] == 2
+        assert stats["ticket_evictions"] >= 2
+        # the survivors are the newest; the oldest finished went first
+        for t in tickets[2:]:
+            assert client.result(t, keep=True)["output"] is not None
+        for t in tickets[:2]:
+            with pytest.raises(ServiceError, match="unknown ticket"):
+                client.result(t)
+
+    def test_default_server_never_auto_evicts(self, served_with):
+        client, clock = served_with()  # no knobs: consumption-only eviction
+        ticket = client.submit([2, 1])
+        client.result(ticket, keep=True)
+        clock.advance(1e9)
+        stats = client.stats()
+        assert stats["tickets"] == 1 and stats["ticket_evictions"] == 0
+        assert client.result(ticket)["output"] == [1, 2]
+
+
 class TestLifecycle:
     def test_shutdown_op_stops_listener(self):
         engine = SortEngine(PARAMS)
