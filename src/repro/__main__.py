@@ -46,6 +46,12 @@ Subcommands
     the fleet.  ``--check`` additionally asserts parity with a
     single-engine ``sort_auto`` run.
 
+``chaos [--seed N] [--drills D1,D2,...] [--twice]``
+    Run the deterministic fault-injection drills (worker death, wire
+    drops, torn lines, slow hosts, timeout storms, host kill-and-rejoin)
+    against real in-process services and subprocess fleets; a fixed seed
+    replays the identical storm (``--twice`` verifies that on the spot).
+
 ``sort`` / ``batch`` / ``calibrate`` / ``stream`` / ``serve`` all route
 through one :class:`~repro.engine.SortEngine`, so a single plan cache and
 constants set serves every job of a command invocation.
@@ -260,7 +266,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
     )
-    service = SortService(engine)
+    service = SortService(
+        engine,
+        max_queue=args.max_queue,
+        admission=args.admission,
+        block_timeout=args.block_timeout,
+    )
     try:
         server = EngineServer(
             service,
@@ -268,6 +279,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             ticket_ttl=args.ticket_ttl,
             max_tickets=args.max_tickets,
+            max_client_tickets=args.max_client_tickets,
         )
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}")
@@ -579,6 +591,39 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .testing import chaos
+
+    names = [s.strip() for s in args.drills.split(",") if s.strip()] or None
+    unknown = [n for n in names or () if n not in chaos.DRILLS]
+    if unknown:
+        print(f"unknown drills: {unknown}; choose from {sorted(chaos.DRILLS)}")
+        return 2
+    t0 = time.time()
+    rows = []
+    for name in names or list(chaos.DRILLS):
+        row = chaos.run_drill(name, seed=args.seed)
+        if args.twice:
+            replay = chaos.run_drill(name, seed=args.seed)
+            stable = all(
+                replay.get(k) == v
+                for k, v in row.items()
+                if k not in chaos.NONDETERMINISTIC_KEYS
+            )
+            row["deterministic"] = stable
+            row["ok"] = row["ok"] and replay["ok"] and stable
+        rows.append(row)
+    # drills return heterogeneous columns; print one table per drill
+    for row in rows:
+        print(format_table([row], title=f"chaos drill: {row['drill']} "
+                                        f"(seed={args.seed})"))
+        print()
+    failed = [r["drill"] for r in rows if not r["ok"]]
+    verdict = "PASSED" if not failed else f"FAILED ({', '.join(failed)})"
+    print(f"chaos {verdict}: {len(rows)} drill(s) [{time.time() - t0:.1f}s]")
+    return 0 if not failed else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import reprolint
 
@@ -734,6 +779,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-tickets", type=int, default=None, metavar="N",
                          help="cap the ticket registry, evicting the oldest "
                               "finished tickets beyond N")
+    p_serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                         help="bound the pending job queue at N (default: "
+                              "unbounded); overload follows --admission")
+    p_serve.add_argument("--admission", default="reject",
+                         choices=["reject", "block", "shed-lowest"],
+                         help="bounded-queue overload policy: reject new "
+                              "work, block the submitter, or shed the "
+                              "lowest-priority pending job")
+    p_serve.add_argument("--block-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="admission deadline for --admission block "
+                              "(default: wait indefinitely)")
+    p_serve.add_argument("--max-client-tickets", type=int, default=None,
+                         metavar="N",
+                         help="per-client live-ticket quota (default: "
+                              "unlimited); excess submits get 'quota "
+                              "exceeded' with a retry_after hint")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -787,6 +849,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the uncharged-I/O sanitizer during runs")
     p_cert.add_argument("--format", choices=["text", "json"], default="text")
     p_cert.set_defaults(fn=_cmd_certify)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run deterministic fault-injection drills against real "
+             "services and fleets",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-plan seed (fixed seed = identical drill)")
+    p_chaos.add_argument("--drills", default="", metavar="D1,D2,...",
+                         help="comma-separated drill names (default: all); "
+                              "see repro.testing.chaos.DRILLS")
+    p_chaos.add_argument("--twice", action="store_true",
+                         help="run each drill twice and verify the replay "
+                              "reproduces the same counts")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint",

@@ -45,7 +45,11 @@ _SINGLE_CHARGES = (
 )
 
 #: the lock-owning layers
-_LOCK_SCOPE_PREFIXES = ("src/repro/service/", "src/repro/cluster/")
+_LOCK_SCOPE_PREFIXES = (
+    "src/repro/service/",
+    "src/repro/cluster/",
+    "src/repro/testing/",
+)
 _LOCK_SCOPE_FILES = ("src/repro/planner/plan_cache.py",)
 
 #: calls that block the calling thread — holding a lock across one of these

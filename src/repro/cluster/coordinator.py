@@ -45,7 +45,8 @@ from ..models.external_memory import AEMachine, MemoryGuard
 from ..models.params import MachineParams
 from ..planner.cost_model import plan_cluster_shards
 from ..planner.sharding import WorkerDiedError
-from ..service.scheduler import PRIORITY_CONTROL
+from ..service.backoff import backoff_delay
+from ..service.scheduler import PRIORITY_CONTROL, QueueFullError
 from ..service.server import ServiceClient, ServiceError
 
 #: wire-level failures that mean "this host is gone" (vs a job-level error)
@@ -69,12 +70,30 @@ class ClusterSpec:
     oversample: int = 32
     #: seconds a polled per-host stats() load stays fresh for routing
     stats_ttl: float = 0.25
+    #: retry backoff: first delay and cap for the capped-exponential curve
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: per-request socket deadline for routed wire calls (None = block)
+    request_timeout: float | None = None
+    #: dead hosts re-enter service automatically when a probation-interval
+    #: ping succeeds (set ``rejoin=False`` for permanent funerals)
+    rejoin: bool = True
+    rejoin_interval: float = 0.5
 
     def __post_init__(self):
         if not self.hosts:
             raise ValueError("ClusterSpec needs at least one host")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                "need 0 < backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+        if self.rejoin_interval <= 0:
+            raise ValueError(
+                f"rejoin_interval must be > 0, got {self.rejoin_interval}"
+            )
 
 
 @dataclass
@@ -117,6 +136,7 @@ class ClusterCoordinator:
                 retries=spec.connect_retries,
                 retry_delay=spec.connect_delay,
                 timeout=spec.timeout,
+                request_timeout=spec.request_timeout,
             )
             for host, port in spec.hosts
         ]
@@ -124,10 +144,18 @@ class ClusterCoordinator:
         self._alive = [True] * len(self._clients)
         self._inflight = [0] * len(self._clients)
         self._stats_cache: dict[int, tuple[float, int]] = {}
+        #: rejoin probation: earliest monotonic stamp to re-probe each dead
+        #: host, plus an in-progress guard so only one thread probes a host
+        self._next_probe: dict[int, float] = {}
+        self._probing: set[int] = set()
+        #: distinct warm sizes replayed so far — a rejoining host's plan
+        #: cache is re-warmed from these
+        self._warm_sizes: set[int] = set()
         self._retries = 0
         self._rebalances = 0
         self._scatter_jobs = 0
         self._routed_jobs = 0
+        self._rejoins = 0
         self._closed = False
         #: test seam: called between scatter and gather (e.g. to kill a host)
         self._fault_hook = None
@@ -141,16 +169,103 @@ class ClusterCoordinator:
             return [i for i, alive in enumerate(self._alive) if alive]
 
     def _mark_dead(self, index: int) -> None:
+        now = time.monotonic()
         with self._lock:
             was_alive = self._alive[index]
             self._alive[index] = False
             self._inflight[index] = 0
             self._stats_cache.pop(index, None)
+            if self.spec.rejoin:
+                self._next_probe[index] = now + self.spec.rejoin_interval
         if was_alive:
             try:
                 self._clients[index].close()
             except OSError:  # pragma: no cover - already torn down
                 pass
+
+    # ------------------------------------------------------------------ #
+    # host auto-rejoin (probation ping, then re-warm and re-admit)
+    # ------------------------------------------------------------------ #
+    def _maybe_rejoin(self) -> None:
+        """Probe dead hosts whose probation expired; re-admit responders.
+
+        Piggybacked on routing and stats traffic rather than run on a timer
+        thread.  Due probes are *claimed* under the lock (so concurrent
+        callers never double-probe one host), then the ping, the client
+        rebuild and the cache re-warm all run outside it — the same
+        fork-outside/publish-under pattern as every other wire call here.
+        """
+        if not self.spec.rejoin:
+            return
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                return
+            due = [
+                i for i, at in self._next_probe.items()
+                if now >= at and not self._alive[i] and i not in self._probing
+            ]
+            self._probing.update(due)
+        for index in due:
+            self._probe(index)
+
+    def _probe(self, index: int) -> None:
+        """One probation ping against a dead host (caller claimed it)."""
+        host, port = self.spec.hosts[index]
+        client: ServiceClient | None = None
+        try:
+            client = ServiceClient(
+                host,
+                port,
+                timeout=self.spec.timeout,
+                request_timeout=self.spec.request_timeout,
+            )
+            client.ping()
+        except (*_HOST_DOWN, ServiceError):
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:  # pragma: no cover - already torn down
+                    pass
+            with self._lock:  # still dead: next probation window
+                self._next_probe[index] = time.monotonic() + self.spec.rejoin_interval
+                self._probing.discard(index)
+            return
+        with self._lock:
+            warm_sizes = sorted(self._warm_sizes)
+        self._rewarm_client(client, warm_sizes)
+        old = self._clients[index]
+        with self._lock:
+            self._clients[index] = client
+            self._alive[index] = True
+            self._next_probe.pop(index, None)
+            self._probing.discard(index)
+            self._rejoins += 1
+        try:
+            old.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    @staticmethod
+    def _rewarm_client(client: ServiceClient, sizes) -> None:
+        """Re-warm one fresh host's plan cache before it takes real traffic
+        (a respawned server boots cold; rejoin must not reintroduce
+        first-query planning latency)."""
+        handles = []
+        for n in sizes:
+            try:
+                handles.append(
+                    client.submit(
+                        list(range(n)), PRIORITY_CONTROL, label=f"rewarm(n={n})"
+                    )
+                )
+            except (*_HOST_DOWN, ServiceError):  # pragma: no cover - benign
+                return
+        for ticket in handles:
+            try:
+                client.result(ticket)
+            except (*_HOST_DOWN, ServiceError):  # pragma: no cover - benign
+                return
 
     def _polled_load(self, index: int) -> float:
         """The host's queued depth from ``stats()``, TTL-cached."""
@@ -171,6 +286,7 @@ class ClusterCoordinator:
 
     def _pick_host(self, exclude=()) -> int:
         """Least-loaded live host: local in-flight + polled queue depth."""
+        self._maybe_rejoin()
         live = [i for i in self.live_hosts() if i not in exclude]
         if not live:
             raise WorkerDiedError(
@@ -193,12 +309,18 @@ class ClusterCoordinator:
 
     def _submit_once(self, data, priority, kwargs, exclude=(), prefer=None) -> ClusterTicket:
         tried = set(exclude)
+        shedding: list[float] = []
         last: Exception | None = None
         for _ in range(len(self._clients)):
             if prefer is not None and prefer not in tried:
                 index, prefer = prefer, None
             else:
-                index = self._pick_host(exclude=tried)
+                try:
+                    index = self._pick_host(exclude=tried)
+                except WorkerDiedError:
+                    if shedding:  # every reachable host shed us
+                        break
+                    raise
             try:
                 ticket = self._clients[index].submit(data, priority, **kwargs)
             except _HOST_DOWN as exc:
@@ -208,9 +330,24 @@ class ClusterCoordinator:
                 with self._lock:
                     self._retries += 1
                 continue
+            except ServiceError as exc:
+                if not exc.overloaded:
+                    raise
+                # the host is alive but shedding load: skip it this round
+                # and propagate its back-pressure hint if nobody admits us
+                last = exc
+                tried.add(index)
+                shedding.append(exc.retry_after or 0.05)
+                continue
             with self._lock:
                 self._inflight[index] += 1
             return ClusterTicket(index, ticket, len(data), data, priority, kwargs)
+        if shedding:
+            raise QueueFullError(
+                f"all {len(shedding)} reachable host(s) are overloaded: {last}",
+                policy="reject",
+                retry_after=min(shedding),
+            )
         raise WorkerDiedError(f"no live host accepted the job: {last}")
 
     def result(self, handle: ClusterTicket, timeout: float | None = None) -> dict:
@@ -254,6 +391,16 @@ class ClusterCoordinator:
                 f"job of n={handle.n} failed {handle.attempts + 1} time(s); "
                 f"retry budget {self.spec.retries} exhausted: {cause}"
             ) from cause
+        # capped exponential backoff with jitter before the resubmit: a
+        # fleet-wide hiccup must not turn every coordinator into a
+        # synchronized retry stampede (sleep taken outside the lock)
+        time.sleep(
+            backoff_delay(
+                handle.attempts,
+                base=self.spec.backoff_base,
+                cap=self.spec.backoff_cap,
+            )
+        )
         replacement = self._submit_once(
             handle.data, handle.priority, handle.kwargs, exclude=exclude
         )
@@ -403,6 +550,8 @@ class ClusterCoordinator:
         """
         entries = source.snapshot() if hasattr(source, "snapshot") else list(source)
         sizes = sorted({key[0] for key, _plan in entries})
+        with self._lock:
+            self._warm_sizes.update(sizes)  # rejoining hosts re-warm from these
         handles = []
         for n in sizes:
             probe = list(range(n))
@@ -426,6 +575,7 @@ class ClusterCoordinator:
 
     def stats(self) -> dict:
         """Per-host polled stats plus cluster-level aggregates."""
+        self._maybe_rejoin()
         per_host = []
         records_per_sec = 0.0
         completed = 0
@@ -461,6 +611,7 @@ class ClusterCoordinator:
                 "rebalances": self._rebalances,
                 "scatter_jobs": self._scatter_jobs,
                 "routed_jobs": self._routed_jobs,
+                "rejoins": self._rejoins,
             }
         return {"aggregate": aggregate, "per_host": per_host}
 

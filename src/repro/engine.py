@@ -313,6 +313,10 @@ class SortEngine:
         executor: str | None = None,
         workers: int | None = None,
         warm_cache=None,
+        *,
+        max_queue: int | None = None,
+        admission: str = "reject",
+        block_timeout: float | None = None,
     ):
         """The engine's persistent :class:`~repro.service.SortService` for
         the given pool shape (created on first use, then reused — workers
@@ -321,6 +325,11 @@ class SortEngine:
         ``executor`` / ``workers`` default to the engine's configuration;
         ``warm_cache`` pre-seeds planning when the pool is first built (use
         :meth:`~repro.service.SortService.warm` to reheat a live pool).
+        ``max_queue`` bounds the pending queue; ``admission`` picks the
+        overload policy (``"reject"`` / ``"block"`` / ``"shed-lowest"``,
+        see :class:`~repro.service.SortService`).  Admission knobs are part
+        of the cache key — a bounded and an unbounded service for the same
+        pool shape are distinct pools.
         """
         from .service import SortService
 
@@ -331,11 +340,17 @@ class SortEngine:
             )
         if workers is None:
             workers = self.workers
-        key = (executor, workers)
+        key = (executor, workers, max_queue, admission, block_timeout)
         svc = self._services.get(key)
         if svc is None:
             svc = SortService(
-                self, workers=workers, executor=executor, warm_cache=warm_cache
+                self,
+                workers=workers,
+                executor=executor,
+                warm_cache=warm_cache,
+                max_queue=max_queue,
+                admission=admission,
+                block_timeout=block_timeout,
             )
             self._services[key] = svc
         elif warm_cache is not None:

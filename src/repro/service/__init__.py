@@ -21,22 +21,34 @@ one-shot :func:`~repro.planner.batch.execute_batch` reference.
 """
 
 from ..planner.sharding import WorkerDiedError
+from .backoff import Deadline, backoff_delay, backoff_delays
 from .futures import CANCELLED, FINISHED, PENDING, RUNNING, SortFuture, wait
-from .scheduler import PRIORITY_CONTROL, SortService, default_pool_width
+from .scheduler import (
+    ADMISSION_POLICIES,
+    PRIORITY_CONTROL,
+    QueueFullError,
+    SortService,
+    default_pool_width,
+)
 from .server import EngineServer, ServiceClient, ServiceError
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "CANCELLED",
+    "Deadline",
     "EngineServer",
     "FINISHED",
     "PENDING",
     "PRIORITY_CONTROL",
+    "QueueFullError",
     "RUNNING",
     "ServiceClient",
     "ServiceError",
     "SortFuture",
     "SortService",
     "WorkerDiedError",
+    "backoff_delay",
+    "backoff_delays",
     "default_pool_width",
     "wait",
 ]

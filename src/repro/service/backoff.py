@@ -1,0 +1,101 @@
+"""Capped exponential backoff with jitter — the one retry cadence.
+
+Before this module, every retry loop in the repo slept its own way:
+:class:`~repro.service.ServiceClient` polled connects on a fixed
+``retry_delay=0.1``, the :class:`~repro.cluster.ClusterCoordinator`
+resubmitted failed shards with no pause at all.  Fixed delays synchronize
+retrying clients into thundering herds (everybody re-hits the recovering
+server on the same beat), and zero delays turn a brief outage into a hot
+spin.  The standard cure is *capped exponential backoff with jitter*
+(attempt ``i`` sleeps roughly ``base * 2**i`` capped at ``cap``, smeared by
+a random factor so independent clients decorrelate), and this module is the
+single implementation every retry path shares.
+
+Determinism: the repo's chaos drills must replay byte-identically for a
+fixed seed, so jitter can be pinned — pass ``seed`` and the delay sequence
+is a pure function of ``(seed, attempt)``.  Without a seed the module-level
+RNG supplies real jitter (the production behaviour).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterator
+
+#: production jitter source (seedless callers); never used when a seed is
+#: given, so drills stay reproducible
+_rng = random.Random()
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    seed: int | None = None,
+) -> float:
+    """Delay (seconds) before retry number ``attempt`` (0-based).
+
+    The undithered delay is ``min(cap, base * 2**attempt)``; ``jitter`` is
+    the fraction of it that is randomized (0 = fixed, 1 = full jitter), so
+    the result lies in ``[(1 - jitter) * d, d]``.  A ``seed`` makes the
+    value a deterministic function of ``(seed, attempt)``.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if base <= 0 or cap < base:
+        raise ValueError(f"need 0 < base <= cap, got base={base} cap={cap}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    # 2**attempt overflows no float for attempt < 1024; cap early instead of
+    # computing astronomically large intermediates for long-lived loops
+    full = cap if base * (2.0 ** min(attempt, 64)) >= cap else base * (2.0 ** attempt)
+    if jitter == 0.0:
+        return full
+    rng = random.Random(f"{seed}:{attempt}") if seed is not None else _rng
+    return full * (1.0 - jitter) + full * jitter * rng.random()
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    seed: int | None = None,
+) -> Iterator[float]:
+    """The first ``attempts`` delays of :func:`backoff_delay`, in order."""
+    for i in range(attempts):
+        yield backoff_delay(i, base=base, cap=cap, jitter=jitter, seed=seed)
+
+
+class Deadline:
+    """A wall-clock budget shared across the retries of one operation.
+
+    ``Deadline(None)`` never expires (every ``remaining()`` is ``None``),
+    so callers can thread an optional per-request deadline through retry
+    loops without branching on its presence.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, seconds: float | None):
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self._expires_at = None if seconds is None else time.monotonic() + seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0), or ``None`` for no deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def clamp(self, delay: float) -> float:
+        """``delay`` shortened so a sleep cannot overshoot the deadline."""
+        remaining = self.remaining()
+        return delay if remaining is None else min(delay, remaining)

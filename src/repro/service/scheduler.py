@@ -29,6 +29,29 @@ Cost-model note: the *simulated* I/O accounting is unchanged — every job
 still runs :func:`repro.planner.batch.execute_and_check` on its own
 simulated machine.  The service only changes *scheduling*, which is why the
 batch shims can promise byte-identical reports.
+
+Admission control
+-----------------
+An unbounded queue is how overload corrupts a service: accepted work piles
+up faster than workers drain it, every future's latency grows without
+bound, and the process eventually dies holding everybody's jobs.  With
+``max_queue`` set, :meth:`SortService.submit` applies one of three
+admission policies when the queue is full:
+
+* ``"reject"`` (default) — raise :class:`QueueFullError` immediately; the
+  caller (or the wire protocol, which translates it to an ``overloaded``
+  reply with a ``retry_after`` hint) decides when to come back;
+* ``"block"`` — wait for a slot, bounded by the submit's
+  ``admission_timeout`` (falling back to the service's ``block_timeout``);
+  :class:`QueueFullError` on deadline expiry;
+* ``"shed-lowest"`` — cancel the lowest-priority *pending* future to make
+  room, provided the incoming job outranks it (strictly lower priority
+  value); otherwise the incoming job is the lowest-value work and is
+  rejected.  The shed future reports ``CANCELLED`` exactly like a caller
+  cancellation.
+
+Only queued (undispatched) jobs count against ``max_queue``; in-flight
+jobs and control messages do not.
 """
 
 from __future__ import annotations
@@ -51,11 +74,34 @@ from ..planner.sharding import (
     spawn_persistent_worker,
     stop_persistent_worker,
 )
+from ..testing import faults
+from .backoff import Deadline
 from .futures import SortFuture
 
 #: priority used for internal control messages (cache seeding) — beats any
 #: caller priority so a warm() lands before jobs queued behind it
 PRIORITY_CONTROL = float("-inf")
+
+#: recognised admission policies for a bounded queue
+ADMISSION_POLICIES = ("reject", "block", "shed-lowest")
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`SortService.submit` when the bounded queue cannot
+    admit the job under the configured policy.
+
+    ``retry_after`` is the service's estimate (seconds) of when a retry is
+    worth attempting — one average job's drain time — which the wire
+    protocol forwards in its ``overloaded`` reply.
+    """
+
+    def __init__(self, message: str, *, queued: int = 0, max_queue: int = 0,
+                 policy: str = "reject", retry_after: float = 0.05):
+        super().__init__(message)
+        self.queued = queued
+        self.max_queue = max_queue
+        self.policy = policy
+        self.retry_after = retry_after
 
 
 def default_pool_width(executor: str) -> int:
@@ -132,6 +178,11 @@ class SortService:
         A :class:`PlanCache` or snapshot entries to pre-seed planning with:
         thread mode seeds the shared cache once, process mode spawns every
         worker already holding the entries.
+    max_queue / admission / block_timeout:
+        Admission control (see the module docstring): with ``max_queue``
+        set, a full queue rejects, blocks (up to ``block_timeout`` seconds
+        unless the submit names its own ``admission_timeout``), or sheds
+        the lowest-priority pending job per ``admission``.
 
     The service starts its pool immediately and accepts submissions until
     :meth:`shutdown`.  Usable as a context manager (drains on exit).
@@ -144,6 +195,9 @@ class SortService:
         workers: int | None = None,
         executor: str | None = None,
         warm_cache=None,
+        max_queue: int | None = None,
+        admission: str = "reject",
+        block_timeout: float | None = None,
     ):
         from ..engine import SortEngine
 
@@ -167,16 +221,31 @@ class SortService:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        if block_timeout is not None and block_timeout < 0:
+            raise ValueError(f"block_timeout must be >= 0, got {block_timeout}")
+        self.max_queue = max_queue
+        self.admission = admission
+        self.block_timeout = block_timeout
 
         self._cond = wrap_condition(threading.Condition(), "SortService._cond")
         self._shared: list = []  # heap of (priority, seq, entry)
         self._pinned: list[list] = [[] for _ in range(workers)]
+        self._pending_jobs = 0  # job entries currently queued (not control)
         self._seq = itertools.count()
         self._tickets = itertools.count()
         self._shutdown = False
         self.submitted = 0
         self.completed = 0
         self.cancelled = 0
+        self.rejected = 0
+        self.shed = 0
         self.respawns = 0
         self.records_sorted = 0  # records across successfully completed jobs
         self.busy_seconds = 0.0  # summed worker-side job wall-clock
@@ -232,6 +301,7 @@ class SortService:
         *,
         check_sorted: bool = False,
         worker: int | None = None,
+        admission_timeout: float | None = None,
     ) -> SortFuture:
         """Enqueue one job; return its :class:`SortFuture` immediately.
 
@@ -241,6 +311,13 @@ class SortService:
         pins the job to one pool slot (used by the batch shims to reproduce
         the historical round-robin sharding exactly; normal traffic should
         leave it ``None`` and let any idle worker pull).
+
+        With a bounded queue (``max_queue``), a full queue applies the
+        service's admission policy — see the module docstring.
+        ``admission_timeout`` bounds a ``"block"`` wait for this one submit
+        (default: the service's ``block_timeout``); the other policies
+        ignore it.  Raises :class:`QueueFullError` when the job cannot be
+        admitted.
         """
         job = self._normalize(job)
         # a non-numeric (or NaN) priority would poison the heap invariant —
@@ -252,18 +329,118 @@ class SortService:
             raise TypeError(f"priority must be a real number, got {priority!r}")
         if worker is not None and not (0 <= worker < self.workers):
             raise ValueError(f"worker must be in [0, {self.workers}), got {worker}")
+        victim: _Entry | None = None
         with self._cond:
             if self._shutdown:
                 raise RuntimeError("service is shut down")
+            victim = self._admit_locked(priority, admission_timeout)
             ticket = next(self._tickets)
             future = SortFuture(ticket, job=job, priority=priority)
             entry = _Entry(priority, next(self._seq), future=future, job=job,
                            check_sorted=check_sorted, index=ticket)
             target = self._shared if worker is None else self._pinned[worker]
             heapq.heappush(target, (entry.key(), entry))
+            self._pending_jobs += 1
             self.submitted += 1
             self._cond.notify_all()
+        if victim is not None:
+            # cancel outside the lock: cancel() fires done-callbacks in the
+            # calling thread, and a callback re-entering the service (stats,
+            # another submit) under the held condition would self-deadlock
+            victim.future.cancel()
+            with self._cond:
+                self.shed += 1
+                self.cancelled += 1
         return future
+
+    # ------------------------------------------------------------------ #
+    # admission control (bounded queue)
+    # ------------------------------------------------------------------ #
+    def _retry_after_locked(self) -> float:
+        """Overload back-pressure hint: about one average job's drain."""
+        if self.completed:
+            return max(0.01, round(self.busy_seconds / self.completed, 4))
+        return 0.05
+
+    def retry_hint(self) -> float:
+        """Public back-pressure hint (seconds until a retry is plausible);
+        servers forward this to shed clients as ``retry_after``."""
+        with self._cond:
+            return self._retry_after_locked()
+
+    def _queue_full_locked(self, message: str) -> QueueFullError:
+        # caller holds _cond (the _locked suffix is the contract)
+        self.rejected += 1  # reprolint: disable=lock-discipline
+        return QueueFullError(
+            message,
+            queued=self._pending_jobs,
+            max_queue=self.max_queue or 0,
+            policy=self.admission,
+            retry_after=self._retry_after_locked(),
+        )
+
+    def _admit_locked(self, priority: float, admission_timeout: float | None):
+        """Admit one job under the bounded-queue policy (caller holds the
+        condition).  Returns the entry to shed (cancel outside the lock),
+        or ``None``; raises :class:`QueueFullError` when inadmissible."""
+        if self.max_queue is None:
+            return None
+        deadline: Deadline | None = None
+        while self._pending_jobs >= self.max_queue:
+            if self.admission == "reject":
+                raise self._queue_full_locked(
+                    f"queue full ({self._pending_jobs}/{self.max_queue}); "
+                    "admission policy 'reject'"
+                )
+            if self.admission == "shed-lowest":
+                victim = self._shed_victim_locked(priority)
+                if victim is None:
+                    raise self._queue_full_locked(
+                        f"queue full ({self._pending_jobs}/{self.max_queue}) "
+                        "and no pending job has lower priority than "
+                        f"{priority!r}; admission policy 'shed-lowest'"
+                    )
+                return victim
+            # "block": wait for a slot, bounded by the deadline
+            if deadline is None:
+                deadline = Deadline(
+                    admission_timeout if admission_timeout is not None
+                    else self.block_timeout
+                )
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                raise self._queue_full_locked(
+                    f"queue full ({self._pending_jobs}/{self.max_queue}); "
+                    "admission policy 'block' deadline expired"
+                )
+            self._cond.wait(remaining)
+            if self._shutdown:
+                raise RuntimeError("service is shut down")
+        return None
+
+    def _shed_victim_locked(self, priority: float) -> _Entry | None:
+        """Pop the lowest-priority pending job entry (highest key) from
+        whichever queue holds it, provided it ranks strictly below the
+        incoming ``priority``.  Caller holds the condition and cancels the
+        returned entry's future outside it."""
+        best_list = None
+        best_pos = -1
+        for lst in [self._shared, *self._pinned]:
+            for pos, (_key, entry) in enumerate(lst):
+                if entry.control is not None or entry.future is None:
+                    continue
+                if best_list is None or entry.key() > best_list[best_pos][1].key():
+                    best_list, best_pos = lst, pos
+        if best_list is None:
+            return None
+        victim = best_list[best_pos][1]
+        if not victim.priority > priority:
+            return None
+        best_list.pop(best_pos)
+        heapq.heapify(best_list)
+        # caller holds _cond (the _locked suffix is the contract)
+        self._pending_jobs -= 1  # reprolint: disable=lock-discipline
+        return victim
 
     def submit_many(
         self,
@@ -385,7 +562,13 @@ class SortService:
                 elif pinned:
                     best = pinned
                 if best is not None:
-                    return heapq.heappop(best)[1]
+                    entry = heapq.heappop(best)[1]
+                    if entry.control is None:
+                        self._pending_jobs -= 1
+                        if self.max_queue is not None:
+                            # wake "block"-policy submitters waiting on a slot
+                            self._cond.notify_all()
+                    return entry
                 if self._shutdown:
                     return None
                 self._cond.wait()
@@ -424,6 +607,11 @@ class SortService:
             t0 = time.perf_counter()
             c0 = time.thread_time()  # this worker's CPU, contention-free
             try:
+                plan = faults.active()
+                if plan is not None:
+                    # thread workers cannot die without taking the pool down,
+                    # so injected "worker death" fails the in-flight job
+                    plan.check("worker-death", f"thread worker {index}")
                 rep = execute_and_check(
                     entry.index, entry.job, cache=view,
                     constants=self.constants, check_sorted=entry.check_sorted,
@@ -464,6 +652,11 @@ class SortService:
                 continue
             records = len(entry.job.data) if entry.job.data is not None else 0
             t0 = time.perf_counter()
+            if faults.fire("worker-death"):
+                # injected worker death takes the REAL failure path: kill the
+                # child, let the pipe EOF below raise, fail only this future,
+                # respawn — exactly what an OOM kill looks like
+                proc.kill()
             try:
                 # ship the submitting process's block-kernel mode with the
                 # job — module globals do not cross the process boundary
@@ -545,6 +738,10 @@ class SortService:
                 "submitted": self.submitted,
                 "completed": completed,
                 "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "max_queue": self.max_queue,
+                "admission": self.admission,
                 "queued": len(self._shared) + sum(len(p) for p in self._pinned),
                 "respawns": self.respawns,
                 "shutdown": self._shutdown,
@@ -575,6 +772,7 @@ class SortService:
                 self._shared.clear()
                 for p in self._pinned:
                     p.clear()
+                self._pending_jobs = 0
             else:
                 doomed = []
             self._cond.notify_all()

@@ -45,8 +45,14 @@ from concurrent.futures import CancelledError
 
 from ..analysis.locksan import wrap_lock
 from ..planner.batch import SortJob
+from ..testing import faults
+from .backoff import backoff_delay
 from .futures import SortFuture
-from .scheduler import SortService
+from .scheduler import QueueFullError, SortService
+
+#: hard cap on one request line — a runaway (or malicious) client must not
+#: be able to buffer unbounded bytes into the handler thread
+MAX_LINE_BYTES = 64 * 1024 * 1024
 
 
 class ServiceError(RuntimeError):
@@ -56,14 +62,49 @@ class ServiceError(RuntimeError):
         super().__init__(message)
         self.reply = reply or {}
 
+    @property
+    def overloaded(self) -> bool:
+        """Did the server shed this request for load (``overloaded`` /
+        ``quota exceeded``)?  Retryable after ``retry_after`` seconds."""
+        return self.reply.get("error") in ("overloaded", "quota exceeded")
+
+    @property
+    def retry_after(self) -> float | None:
+        return self.reply.get("retry_after")
+
 
 class _Handler(socketserver.StreamRequestHandler):
     """One thread per connection; requests are processed in arrival order
     on that connection (blocking ``result`` calls only stall their own
-    client)."""
+    client).
+
+    Hardening contract: no client byte stream may tear this thread down.
+    Garbage, truncated lines (a client dying mid-send), oversized lines and
+    mid-reply disconnects all end in an ``ok: false`` reply or a clean
+    connection close — the *server* and its other connections are
+    unaffected either way.
+    """
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
-        for raw in self.rfile:
+        try:
+            self._serve_lines()
+        except (OSError, ValueError):
+            # connection reset / torn stream mid-read: close this
+            # connection quietly, never the handler pool
+            return
+
+    def _serve_lines(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not raw:
+                return  # clean EOF (includes a trailing truncated send)
+            if len(raw) > MAX_LINE_BYTES:
+                # the stream is desynchronized beyond repair: reply, close
+                self._reply({
+                    "ok": False,
+                    "error": f"request line exceeds {MAX_LINE_BYTES} bytes",
+                })
+                return
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
@@ -74,14 +115,29 @@ class _Handler(socketserver.StreamRequestHandler):
             except ValueError as exc:
                 reply = {"ok": False, "error": f"invalid request: {exc}"}
             else:
-                reply = self.server.engine_server.dispatch(request)
-            try:
-                self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except (OSError, BrokenPipeError):
+                reply = self.server.engine_server.dispatch(
+                    request, client=self.client_address
+                )
+            if not self._reply(reply):
                 return  # client went away mid-reply
             if reply.get("stopping"):
                 return
+
+    def _reply(self, reply: dict) -> bool:  # pragma: no cover - via sockets
+        try:
+            payload = json.dumps(reply)
+        except (TypeError, ValueError):
+            # a handler produced an unserializable value; degrade to an
+            # error reply instead of killing the connection
+            payload = json.dumps(
+                {"ok": False, "error": "server produced an unserializable reply"}
+            )
+        try:
+            self.wfile.write((payload + "\n").encode("utf-8"))
+            self.wfile.flush()
+        except (OSError, BrokenPipeError):
+            return False
+        return True
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -114,6 +170,7 @@ class EngineServer:
         *,
         ticket_ttl: float | None = None,
         max_tickets: int | None = None,
+        max_client_tickets: int | None = None,
         clock=time.monotonic,
     ):
         self.service = service
@@ -126,13 +183,23 @@ class EngineServer:
             raise ValueError(f"ticket_ttl must be >= 0, got {ticket_ttl}")
         if max_tickets is not None and max_tickets < 1:
             raise ValueError(f"max_tickets must be >= 1, got {max_tickets}")
+        if max_client_tickets is not None and max_client_tickets < 1:
+            raise ValueError(
+                f"max_client_tickets must be >= 1, got {max_client_tickets}"
+            )
         self._ticket_ttl = ticket_ttl
         self._max_tickets = max_tickets
+        self._max_client_tickets = max_client_tickets
         self._clock = clock
         #: completion stamps for finished-but-unconsumed tickets (subset of
         #: ``_tickets`` keys; maintained lazily by :meth:`_purge`)
         self._done_at: dict[int, float] = {}
+        #: per-client quota bookkeeping: which client owns each live ticket,
+        #: and how many each client currently holds
+        self._ticket_owner: dict[int, tuple] = {}
+        self._client_tickets: dict[tuple, int] = {}
         self._evictions = 0
+        self._quota_rejections = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -170,15 +237,35 @@ class EngineServer:
     # ------------------------------------------------------------------ #
     # request dispatch
     # ------------------------------------------------------------------ #
-    def dispatch(self, request: dict) -> dict:
+    def dispatch(self, request: dict, client: tuple | None = None) -> dict:
+        """Route one request object to its ``_op_*`` handler.
+
+        ``client`` is the peer address of the connection the request came
+        in on — the identity per-client ticket quotas are charged to.
+        Overload is a *reply*, not an exception: a bounded-queue rejection
+        surfaces as ``{"ok": false, "error": "overloaded", "retry_after"}``
+        so shed clients learn when to come back.
+        """
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        plan = faults.active()
+        if plan is not None and plan.should_fire("slow-host"):
+            time.sleep(plan.slow_seconds)  # injected stall: server is "slow"
         try:
-            return handler(request)
+            return handler(request, client)
+        except QueueFullError as exc:
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "retry_after": exc.retry_after,
+                "queued": exc.queued,
+                "max_queue": exc.max_queue,
+                "policy": exc.policy,
+            }
         except ServiceError as exc:
-            return {"ok": False, "error": str(exc)}
+            return {"ok": False, **exc.reply, "error": str(exc)}
         except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 
@@ -218,23 +305,58 @@ class EngineServer:
                     t for t, at in self._done_at.items()
                     if now - at >= self._ticket_ttl
                 ]:
-                    del self._tickets[ticket]
-                    del self._done_at[ticket]
+                    self._drop_ticket_locked(ticket)
                     evicted += 1
             if self._max_tickets is not None and len(self._tickets) > self._max_tickets:
                 for _, ticket in sorted((at, t) for t, at in self._done_at.items()):
                     if len(self._tickets) <= self._max_tickets:
                         break
-                    del self._tickets[ticket]
-                    del self._done_at[ticket]
+                    self._drop_ticket_locked(ticket)
                     evicted += 1
             self._evictions += evicted
         return evicted
 
-    def _register(self, future: SortFuture) -> int:
+    def _drop_ticket_locked(self, ticket: int) -> None:
+        """Remove one ticket and release its owner's quota charge (caller
+        holds ``_lock``)."""
+        self._tickets.pop(ticket, None)
+        self._done_at.pop(ticket, None)
+        owner = self._ticket_owner.pop(ticket, None)
+        if owner is not None:
+            held = self._client_tickets.get(owner, 0) - 1
+            if held > 0:
+                # caller holds _lock (the _locked suffix is the contract)
+                self._client_tickets[owner] = held  # reprolint: disable=lock-discipline
+            else:
+                self._client_tickets.pop(owner, None)
+
+    def _check_quota(self, client: tuple | None) -> None:
+        """Refuse a submit that would push ``client`` past its ticket quota
+        — a per-client bound so one greedy connection cannot starve the
+        fleet even when the global queue still has room."""
+        if self._max_client_tickets is None or client is None:
+            return
+        with self._lock:
+            held = self._client_tickets.get(client, 0)
+            if held < self._max_client_tickets:
+                return
+            self._quota_rejections += 1
+        raise ServiceError(
+            "quota exceeded",
+            {
+                "retry_after": self.service.retry_hint(),
+                "held": held,
+                "max_client_tickets": self._max_client_tickets,
+            },
+        )
+
+    def _register(self, future: SortFuture, client: tuple | None = None) -> int:
         self._purge()
         with self._lock:
             self._tickets[future.ticket] = future
+            if client is not None:
+                self._ticket_owner[future.ticket] = client
+                self._client_tickets[client] = self._client_tickets.get(client, 0) + 1
         return future.ticket
 
     def _lookup(self, request: dict) -> SortFuture:
@@ -247,23 +369,42 @@ class EngineServer:
         return future
 
     # ---- ops --------------------------------------------------------- #
-    def _op_ping(self, request: dict) -> dict:
+    def _op_ping(self, request: dict, client: tuple | None = None) -> dict:
         return {"ok": True, "pong": True}
 
-    def _op_submit(self, request: dict) -> dict:
+    def _op_submit(self, request: dict, client: tuple | None = None) -> dict:
+        self._check_quota(client)
         job, priority, check_sorted = self._job_from(request)
         future = self.service.submit(job, priority, check_sorted=check_sorted)
-        return {"ok": True, "ticket": self._register(future)}
+        return {"ok": True, "ticket": self._register(future, client)}
 
-    def _op_submit_many(self, request: dict) -> dict:
+    def _op_submit_many(self, request: dict, client: tuple | None = None) -> dict:
         specs = request.get("jobs")
         if not isinstance(specs, list):
             raise ServiceError("submit_many needs 'jobs': an array of job objects")
-        tickets = []
+        tickets: list[int] = []
         for spec in specs:
-            job, priority, check_sorted = self._job_from(spec)
-            future = self.service.submit(job, priority, check_sorted=check_sorted)
-            tickets.append(self._register(future))
+            # partial acceptance: jobs admitted before the queue (or this
+            # client's quota) filled stay live, and the overload reply
+            # carries their tickets so the client can still collect them
+            try:
+                self._check_quota(client)
+                job, priority, check_sorted = self._job_from(spec)
+                future = self.service.submit(job, priority, check_sorted=check_sorted)
+            except QueueFullError as exc:
+                return {
+                    "ok": False,
+                    "error": "overloaded",
+                    "retry_after": exc.retry_after,
+                    "queued": exc.queued,
+                    "max_queue": exc.max_queue,
+                    "policy": exc.policy,
+                    "tickets": tickets,
+                }
+            except ServiceError as exc:
+                return {"ok": False, **exc.reply, "error": str(exc),
+                        "tickets": tickets}
+            tickets.append(self._register(future, client))
         return {"ok": True, "tickets": tickets}
 
     def _evict(self, ticket, keep: bool) -> None:
@@ -276,10 +417,9 @@ class EngineServer:
         if keep:
             return
         with self._lock:
-            self._tickets.pop(ticket, None)
-            self._done_at.pop(ticket, None)
+            self._drop_ticket_locked(ticket)
 
-    def _op_result(self, request: dict) -> dict:
+    def _op_result(self, request: dict, client: tuple | None = None) -> dict:
         future = self._lookup(request)
         timeout = request.get("timeout")
         keep = bool(request.get("keep", False))
@@ -309,27 +449,31 @@ class EngineServer:
             "cpu_seconds": future.cpu_seconds or 0.0,
         }
 
-    def _op_status(self, request: dict) -> dict:
+    def _op_status(self, request: dict, client: tuple | None = None) -> dict:
         return {"ok": True, "state": self._lookup(request).state}
 
-    def _op_cancel(self, request: dict) -> dict:
+    def _op_cancel(self, request: dict, client: tuple | None = None) -> dict:
         return {"ok": True, "cancelled": self._lookup(request).cancel()}
 
-    def _op_stats(self, request: dict) -> dict:
+    def _op_stats(self, request: dict, client: tuple | None = None) -> dict:
         self._purge()
         with self._lock:
             tickets = len(self._tickets)
             evictions = self._evictions
+            clients = len(self._client_tickets)
+            quota_rejections = self._quota_rejections
         return {
             "ok": True,
             "stats": {
                 **self.service.stats(),
                 "tickets": tickets,
                 "ticket_evictions": evictions,
+                "clients": clients,
+                "quota_rejections": quota_rejections,
             },
         }
 
-    def _op_shutdown(self, request: dict) -> dict:
+    def _op_shutdown(self, request: dict, client: tuple | None = None) -> dict:
         # stop the listener from a helper thread: shutdown() blocks until
         # serve_forever exits, which must not happen on a handler thread
         threading.Thread(target=self._server.shutdown, daemon=True).start()
@@ -341,7 +485,11 @@ class ServiceClient:
 
     One TCP connection, blocking request/response.  ``retries`` polls the
     connect until the server is listening (handy right after launching
-    ``python -m repro serve`` in the background).
+    ``python -m repro serve`` in the background); connect attempts back off
+    exponentially from ``retry_delay`` with jitter (capped at
+    ``retry_cap``) instead of hammering a booting server at a fixed rate.
+    ``request_timeout`` is a per-request deadline on the socket — a stalled
+    server surfaces as :class:`TimeoutError` instead of a silent hang.
     """
 
     def __init__(
@@ -351,38 +499,81 @@ class ServiceClient:
         *,
         retries: int = 0,
         retry_delay: float = 0.1,
+        retry_cap: float = 2.0,
         timeout: float | None = None,
+        request_timeout: float | None = None,
     ):
         last_error: Exception | None = None
-        for _ in range(max(1, retries + 1)):
+        attempts = max(1, retries + 1)
+        for attempt in range(attempts):
             try:
                 self._sock = socket.create_connection((host, port), timeout=timeout)
                 break
             except OSError as exc:
                 last_error = exc
-                time.sleep(retry_delay)
+                if attempt + 1 < attempts:  # no sleep after the final failure
+                    time.sleep(backoff_delay(attempt, base=retry_delay, cap=retry_cap))
         else:
             raise ConnectionError(
                 f"cannot reach sort server at {host}:{port}: {last_error}"
             )
         self._rfile = self._sock.makefile("r", encoding="utf-8")
         self._lock = threading.Lock()
+        self._base_timeout = timeout
+        self._request_timeout = request_timeout
 
     # ------------------------------------------------------------------ #
-    def request(self, payload: dict) -> dict:
-        """Send one raw request object; return the raw reply object."""
+    def _fault_point(self, line: str) -> None:
+        """Client-side fault seams (no-ops unless a plan is installed):
+        ``timeout`` storms, dropped connections, and truncated sends."""
+        plan = faults.active()
+        if plan is None:
+            return
+        if plan.should_fire("timeout"):
+            # fires *before* the send so a retry cannot double-submit
+            raise TimeoutError("injected client timeout")
+        if plan.should_fire("wire-drop"):
+            self._sock.close()
+            raise ConnectionError("injected wire drop")
+        if plan.should_fire("partial-line"):
+            # really put a truncated line on the wire so the server's
+            # torn-stream handling is exercised, then die mid-send
+            encoded = line.encode("utf-8")
+            self._sock.sendall(encoded[: max(1, len(encoded) // 2)])
+            self._sock.close()
+            raise ConnectionError("injected partial-line drop")
+
+    def request(self, payload: dict, timeout: float | None = None) -> dict:
+        """Send one raw request object; return the raw reply object.
+
+        ``timeout`` (or the client-wide ``request_timeout``) bounds this
+        round-trip; expiry raises :class:`TimeoutError` and the connection
+        is no longer usable (the reply stream may be desynchronized).
+        """
         line = json.dumps(payload) + "\n"
+        self._fault_point(line)
+        deadline = timeout if timeout is not None else self._request_timeout
         # deliberate: the lock IS the request pipeline — it serializes the
         # send/recv pair so concurrent callers cannot interleave replies
         with self._lock:
-            self._sock.sendall(line.encode("utf-8"))  # reprolint: disable=lock-discipline
-            reply = self._rfile.readline()  # reprolint: disable=lock-discipline
+            if deadline is not None:
+                self._sock.settimeout(deadline)
+            try:
+                self._sock.sendall(line.encode("utf-8"))  # reprolint: disable=lock-discipline
+                reply = self._rfile.readline()  # reprolint: disable=lock-discipline
+            except socket.timeout as exc:
+                raise TimeoutError(
+                    f"no reply within {deadline}s for op {payload.get('op')!r}"
+                ) from exc
+            finally:
+                if deadline is not None:
+                    self._sock.settimeout(self._base_timeout)
         if not reply:
             raise ConnectionError("server closed the connection")
         return json.loads(reply)
 
-    def _checked(self, payload: dict) -> dict:
-        reply = self.request(payload)
+    def _checked(self, payload: dict, timeout: float | None = None) -> dict:
+        reply = self.request(payload, timeout)
         if not reply.get("ok"):
             raise ServiceError(reply.get("error", "request failed"), reply)
         return reply

@@ -1,0 +1,18 @@
+"""Deterministic failure testing: the fault-injection harness.
+
+:mod:`repro.testing.faults` plants seeded faults (worker death, wire drops,
+partial lines, slow hosts, timeout storms) at fixed seams in the service
+and cluster layers; :mod:`repro.testing.chaos` packages them into named
+drills behind ``python -m repro chaos``.
+"""
+
+from .faults import FaultPlan, InjectedFault, activate, active, deactivate, inject
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "activate",
+    "active",
+    "deactivate",
+    "inject",
+]

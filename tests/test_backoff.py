@@ -1,0 +1,71 @@
+"""Retry/backoff unification: the capped-exponential curve and Deadline."""
+
+import time
+
+import pytest
+
+from repro.service import Deadline, backoff_delay, backoff_delays
+
+
+class TestBackoffDelay:
+    def test_grows_exponentially_up_to_the_cap(self):
+        # jitter off: the raw curve is base * 2^i, clamped at the cap
+        delays = [
+            backoff_delay(i, base=0.05, cap=1.0, jitter=0.0) for i in range(8)
+        ]
+        assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+        assert delays[5:] == [1.0, 1.0, 1.0]
+
+    def test_jitter_stays_inside_the_band(self):
+        for attempt in range(10):
+            for seed in range(20):
+                d = backoff_delay(attempt, base=0.1, cap=2.0, jitter=0.5, seed=seed)
+                full = min(2.0, 0.1 * 2**attempt)
+                assert 0.5 * full <= d <= full
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = [backoff_delay(i, seed=7) for i in range(6)]
+        b = [backoff_delay(i, seed=7) for i in range(6)]
+        assert a == b
+        # different seeds actually jitter (not all equal)
+        c = [backoff_delay(i, seed=8) for i in range(6)]
+        assert a != c
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert backoff_delay(10_000, base=0.05, cap=3.0, jitter=0.0) == 3.0
+
+    def test_generator_matches_scalar(self):
+        assert list(backoff_delays(5, base=0.05, cap=1.0, jitter=0.0)) == [
+            backoff_delay(i, base=0.05, cap=1.0, jitter=0.0) for i in range(5)
+        ]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1)
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=0.0)
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=0.5, cap=0.1)
+        with pytest.raises(ValueError):
+            backoff_delay(0, jitter=1.5)
+
+
+class TestDeadline:
+    def test_no_deadline_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired()
+        assert d.clamp(1.5) == 1.5
+
+    def test_counts_down_and_expires(self):
+        d = Deadline(0.05)
+        r0 = d.remaining()
+        assert r0 is not None and 0 < r0 <= 0.05
+        time.sleep(0.06)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_clamp_caps_a_wait_at_the_remaining_budget(self):
+        d = Deadline(10.0)
+        assert d.clamp(0.2) == 0.2
+        assert d.clamp(99.0) <= 10.0

@@ -1,0 +1,97 @@
+"""Chaos drills: deterministic replay, locksan cleanliness, CLI surface,
+and the kill-then-rejoin cluster drill."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import locksan
+from repro.testing import chaos, faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+@pytest.fixture
+def locksan_on():
+    was = locksan.locksan_enabled()
+    locksan.enable()
+    locksan.reset()
+    yield
+    violations = locksan.violations()
+    locksan.reset()
+    if not was:
+        locksan.disable()
+    assert violations == [], violations
+
+
+def _stable_row(row: dict) -> dict:
+    return {k: v for k, v in row.items() if k not in chaos.NONDETERMINISTIC_KEYS}
+
+
+class TestDeterminism:
+    """The whole point: same seed, same storm, same counts."""
+
+    @pytest.mark.parametrize(
+        "drill", ["worker-death", "wire-drop", "partial-line", "slow-host", "timeout"]
+    )
+    def test_replay_is_identical(self, drill):
+        first = chaos.run_drill(drill, seed=3)
+        second = chaos.run_drill(drill, seed=3)
+        assert first["ok"] and second["ok"]
+        assert _stable_row(first) == _stable_row(second)
+
+    def test_different_seeds_change_the_storm(self):
+        rows = [chaos.run_drill("wire-drop", seed=s)["fired_wire-drop"]
+                for s in range(4)]
+        assert len(set(rows)) > 1, "seeds should vary the fire pattern"
+
+
+class TestDrillsUnderLocksan:
+    @pytest.mark.parametrize("drill", ["worker-death", "timeout"])
+    def test_drill_leaves_no_lock_inversions(self, locksan_on, drill):
+        assert chaos.run_drill(drill, seed=0)["ok"]
+
+
+class TestHostRejoinDrill:
+    def test_killed_host_rejoins_and_takes_traffic(self):
+        row = chaos.run_drill("host-rejoin", seed=0)
+        assert row["ok"], row
+        assert row["live_while_down"] == 1
+        assert row["live_after"] == 2
+        assert row["rejoins"] >= 1
+        # drill traffic routed during the outage all landed on the survivor
+        assert row["survivor_jobs"] == 6
+
+
+class TestSurface:
+    def test_unknown_drill_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown drill"):
+            chaos.run_drill("coffee-spill")
+
+    def test_run_drills_defaults_to_registry_order(self, monkeypatch):
+        calls = []
+        monkeypatch.setitem(
+            chaos.DRILLS, "worker-death",
+            lambda seed: calls.append(seed) or {"drill": "worker-death", "ok": True},
+        )
+        rows = chaos.run_drills(["worker-death"], seed=5)
+        assert calls == [5] and rows[0]["ok"]
+
+    def test_cli_runs_selected_drills(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["chaos", "--seed", "0", "--drills", "timeout"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos PASSED: 1 drill(s)" in out
+
+    def test_cli_rejects_unknown_drills(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "--drills", "nope"]) == 2
+        assert "unknown drills" in capsys.readouterr().out
